@@ -1,0 +1,87 @@
+// Command qres-bench regenerates the tables and figures of the paper's
+// evaluation section over the synthetic substrates.
+//
+// Usage:
+//
+//	qres-bench -exp fig5              # one experiment
+//	qres-bench -exp all               # everything, in order
+//	qres-bench -list                  # show available experiment ids
+//	qres-bench -exp fig6 -full        # slower, closer-to-paper scale
+//	qres-bench -exp table3 -csv out/  # also write CSV files
+//
+// Every run is deterministic in -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"qres/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		full   = flag.Bool("full", false, "use the slower, closer-to-paper scale")
+		seed   = flag.Int64("seed", 2023, "master random seed")
+		csvDir = flag.String("csv", "", "directory to also write <id>.csv files into")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := bench.ScaleQuick()
+	if *full {
+		scale = bench.ScaleFull()
+	}
+
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.Experiments()
+	} else {
+		e, ok := bench.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "qres-bench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		rep, err := e.Run(scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qres-bench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		rep.WriteTable(os.Stdout)
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "qres-bench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qres-bench: %v\n", err)
+				os.Exit(1)
+			}
+			rep.WriteCSV(f)
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "qres-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command qres-demo walks through the paper's running example end to end:
+// the Table 1 database, the Figure 2 query with its Table 2 provenance,
+// and an interactive-style resolution session against a simulated expert,
+// printing every probe the framework issues and the final exact answer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"qres"
+)
+
+func main() {
+	var (
+		strategy = flag.String("strategy", "general", "probe strategy: qvalue|ro|general|random|greedy")
+		seed     = flag.Int64("seed", 1, "random seed for the simulated expert")
+		p        = flag.Float64("p", 0.7, "probability that a tuple is correct in the simulated ground truth")
+	)
+	flag.Parse()
+
+	db := buildPaperDatabase()
+
+	fmt.Println("Query (paper Figure 2):")
+	const sql = `
+SELECT DISTINCT a.Acquired, e.Institute
+FROM Acquisitions AS a, Roles AS r, Education AS e
+WHERE a.Acquired = r.Organization AND r.Member = e.Alumni
+  AND a.Date >= 2017.01.01 AND r.Role LIKE '%found%'
+  AND e.Year <= year(a.Date)`
+	os.Stdout.WriteString(sql + "\n")
+
+	res, err := db.Query(sql)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nUncertain result with Boolean provenance (paper Table 2):")
+	fmt.Println(res)
+	fmt.Printf("The result depends on %d of the %d database tuples.\n\n",
+		res.UniqueTupleCount(), db.NumTuples())
+
+	// The simulated expert: a hidden random ground truth. Every probe is
+	// printed, standing in for an email to a data expert.
+	rng := rand.New(rand.NewSource(*seed))
+	truth := make(map[qres.TupleRef]bool)
+	for _, tbl := range db.Tables() {
+		for i := 0; ; i++ {
+			ref := qres.TupleRef{Table: tbl, Index: i}
+			if _, _, ok := db.Tuple(ref); !ok {
+				break
+			}
+			truth[ref] = rng.Float64() < *p
+		}
+	}
+	expert := qres.OracleFunc(func(ref qres.TupleRef) (bool, error) {
+		values, _, _ := db.Tuple(ref)
+		fmt.Printf("  probe %-18s %v -> correct=%t\n", ref.String(), values, truth[ref])
+		return truth[ref], nil
+	})
+
+	fmt.Printf("Resolving with strategy %q:\n", *strategy)
+	out, err := db.Resolve(res, expert,
+		qres.WithStrategy(*strategy), qres.WithSeed(*seed), qres.WithLearning("ep"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nResolved with %d oracle probes (vs %d tuples a naive approach would verify):\n",
+		out.Probes, res.UniqueTupleCount())
+	for i := 0; i < res.Len(); i++ {
+		status := "INCORRECT"
+		if out.IsCorrect(i) {
+			status = "CORRECT"
+		}
+		fmt.Printf("  %-40v %s\n", res.Row(i), status)
+	}
+}
+
+func buildPaperDatabase() *qres.DB {
+	db := qres.New()
+	db.MustCreateTable("Acquisitions",
+		qres.Column{Name: "Acquired", Kind: qres.String},
+		qres.Column{Name: "Acquiring", Kind: qres.String},
+		qres.Column{Name: "Date", Kind: qres.DateKind})
+	db.MustCreateTable("Roles",
+		qres.Column{Name: "Organization", Kind: qres.String},
+		qres.Column{Name: "Role", Kind: qres.String},
+		qres.Column{Name: "Member", Kind: qres.String})
+	db.MustCreateTable("Education",
+		qres.Column{Name: "Alumni", Kind: qres.String},
+		qres.Column{Name: "Institute", Kind: qres.String},
+		qres.Column{Name: "Year", Kind: qres.Int})
+
+	db.MustInsert("Acquisitions", []any{"A2Bdone", "Zazzer", qres.Date{Year: 2020, Month: 11, Day: 7}},
+		map[string]string{"source": "example.com"})
+	db.MustInsert("Acquisitions", []any{"microBarg", "Fiffer", qres.Date{Year: 2017, Month: 5, Day: 1}},
+		map[string]string{"source": "bizwire.example"})
+	db.MustInsert("Acquisitions", []any{"fPharm", "Fiffer", qres.Date{Year: 2016, Month: 2, Day: 1}},
+		map[string]string{"source": "bizwire.example"})
+	db.MustInsert("Acquisitions", []any{"Optobest", "microBarg", qres.Date{Year: 2015, Month: 8, Day: 8}},
+		map[string]string{"source": "example.com"})
+
+	for _, r := range [][3]string{
+		{"A2Bdone", "Founder", "Usha Koirala"},
+		{"A2Bdone", "Founding member", "Pavel Lebedev"},
+		{"A2Bdone", "Founding member", "Nana Alvi"},
+		{"microBarg", "Co-founder", "Nana Alvi"},
+		{"microBarg", "Co-founder", "Gao Yawen"},
+		{"microBarg", "CTO", "Amaal Kader"},
+	} {
+		db.MustInsert("Roles", []any{r[0], r[1], r[2]}, map[string]string{"source": "people.example"})
+	}
+	for _, r := range []struct {
+		alumni, inst string
+		year         int
+	}{
+		{"Usha Koirala", "U. Melbourne", 2017},
+		{"Pavel Lebedev", "U. Melbourne", 2017},
+		{"Nana Alvi", "U. Sau Paolo", 2010},
+		{"Nana Alvi", "U. Melbourne", 2017},
+		{"Gao Yawen", "U. Sau Paolo", 2010},
+		{"Amaal Kader", "U. Cape Town", 2005},
+	} {
+		db.MustInsert("Education", []any{r.alumni, r.inst, r.year},
+			map[string]string{"source": "alumni.example"})
+	}
+	return db
+}

@@ -1,0 +1,108 @@
+// Command qres-gen generates the synthetic evaluation substrates (the
+// NELL-like knowledge base and the TPC-H-like database) and prints their
+// statistics, the query workloads, and optionally the Table-3-style
+// provenance statistics per query. It is the inspection tool for the data
+// the benchmark harness runs on.
+//
+// Usage:
+//
+//	qres-gen -dataset nell -athletes 300
+//	qres-gen -dataset tpch -sf 0.005 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"qres/internal/boolexpr"
+	"qres/internal/datagen"
+	"qres/internal/engine"
+	"qres/internal/sqlparse"
+	"qres/internal/table"
+	"qres/internal/uncertain"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "tpch", "dataset to generate: tpch|nell")
+		sf       = flag.Float64("sf", 0.003, "TPC-H scale factor")
+		athletes = flag.Int("athletes", 300, "NELL athlete count")
+		seed     = flag.Int64("seed", 2023, "generation seed")
+		stats    = flag.Bool("stats", false, "also compute per-query provenance statistics")
+		out      = flag.String("out", "", "write the generated database as JSONL to this file")
+	)
+	flag.Parse()
+
+	var (
+		udb     *uncertain.DB
+		queries map[string]string
+	)
+	switch *dataset {
+	case "tpch":
+		udb = datagen.TPCH(datagen.TPCHConfig{SF: *sf, Seed: *seed})
+		queries = datagen.TPCHQueries()
+	case "nell":
+		udb = datagen.NELL(datagen.NELLConfig{Athletes: *athletes, Seed: *seed})
+		queries = datagen.NELLQueries()
+	default:
+		fmt.Fprintf(os.Stderr, "qres-gen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	fmt.Printf("dataset %s: %d tuples across %d relations\n",
+		*dataset, udb.Data().TotalTuples(), len(udb.Data().Names()))
+	for _, name := range udb.Data().Names() {
+		rel, _ := udb.Data().Relation(name)
+		fmt.Printf("  %-22s %7d tuples  %s\n", name, rel.Len(), rel.Schema())
+	}
+
+	names := make([]string, 0, len(queries))
+	for q := range queries {
+		names = append(names, q)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%d workload queries: %v\n", len(names), names)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qres-gen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := table.WriteJSON(f, udb.Data()); err != nil {
+			fmt.Fprintf(os.Stderr, "qres-gen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "qres-gen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if !*stats {
+		return
+	}
+	fmt.Printf("\n%-6s %12s %12s %10s %10s\n", "query", "#exprs", "#vars", "term size", "cover")
+	for _, q := range names {
+		plan, err := sqlparse.ParseAndCompile(queries[q], udb.Data())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qres-gen: %s: %v\n", q, err)
+			os.Exit(1)
+		}
+		res, err := engine.Run(udb, plan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qres-gen: %s: %v\n", q, err)
+			os.Exit(1)
+		}
+		cover, ok := boolexpr.GreedyCover(res.Provenance(), 50)
+		coverCell := fmt.Sprintf("%d", len(cover))
+		if !ok {
+			coverCell = "-"
+		}
+		fmt.Printf("%-6s %12d %12d %10d %10s\n",
+			q, len(res.Rows), len(res.UniqueVars()), res.MaxTermSize(), coverCell)
+	}
+}

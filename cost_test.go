@@ -1,0 +1,98 @@
+package qres_test
+
+import (
+	"testing"
+
+	"qres"
+)
+
+func TestCostOptions(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := randomOracle(db, 0.5, 23)
+
+	// Education verifications are 10x as expensive.
+	var costOpts []qres.Option
+	expensive := map[qres.TupleRef]bool{}
+	for i := 0; i < res.Len(); i++ {
+		for _, ref := range res.Tuples(i) {
+			if ref.Table == "education" && !expensive[ref] {
+				expensive[ref] = true
+				costOpts = append(costOpts, qres.WithCost(ref, 10))
+			}
+		}
+	}
+	base := []qres.Option{
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(4),
+	}
+
+	// Without cost options, Cost == Probes.
+	plain, err := db.Resolve(res, orc, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cost != float64(plain.Probes) {
+		t.Errorf("Cost = %f, Probes = %d", plain.Cost, plain.Probes)
+	}
+
+	// Accounting: with costs assigned, Cost equals the probe-log sum.
+	db2 := buildPaperDB(t)
+	res2, _ := db2.Query(paperSQL)
+	orc2 := randomOracle(db2, 0.5, 23)
+	blind, err := db2.Resolve(res2, orc2, append(append([]qres.Option{}, base...), costOpts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, ref := range blind.ProbedTuples {
+		if ref.Table == "education" {
+			want += 10
+		} else {
+			want++
+		}
+	}
+	if blind.Cost != want {
+		t.Errorf("Cost = %f, recomputed %f", blind.Cost, want)
+	}
+
+	// Cost-aware selection defers expensive tuples: the fraction of
+	// education probes must not increase.
+	db3 := buildPaperDB(t)
+	res3, _ := db3.Query(paperSQL)
+	orc3 := randomOracle(db3, 0.5, 23)
+	awareOpts := append(append([]qres.Option{qres.WithCostAware()}, base...), costOpts...)
+	aware, err := db3.Resolve(res3, orc3, awareOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := func(r *qres.Resolution) float64 {
+		if len(r.ProbedTuples) == 0 {
+			return 0
+		}
+		n := 0
+		for _, ref := range r.ProbedTuples {
+			if ref.Table == "education" {
+				n++
+			}
+		}
+		return float64(n) / float64(len(r.ProbedTuples))
+	}
+	if frac(aware) > frac(blind) {
+		t.Errorf("cost-aware probed more expensive tuples (%.2f) than blind (%.2f)",
+			frac(aware), frac(blind))
+	}
+	// Answers stay exact either way.
+	for i := 0; i < res.Len(); i++ {
+		if aware.IsCorrect(i) != blind.IsCorrect(i) {
+			t.Errorf("row %d: cost-aware disagrees", i)
+		}
+	}
+
+	// Unknown tuple in WithCost errors.
+	if _, err := db.Resolve(res, orc, qres.WithCost(qres.TupleRef{Table: "zzz"}, 5)); err == nil {
+		t.Error("unknown tuple cost accepted")
+	}
+}

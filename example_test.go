@@ -1,0 +1,102 @@
+package qres_test
+
+import (
+	"fmt"
+
+	"qres"
+)
+
+// Example demonstrates the full workflow: build an uncertain database,
+// query it with provenance tracking, and resolve the exact answer through
+// an oracle.
+func Example() {
+	db := qres.New()
+	db.MustCreateTable("facts",
+		qres.Column{Name: "subject", Kind: qres.String},
+		qres.Column{Name: "relation", Kind: qres.String},
+		qres.Column{Name: "object", Kind: qres.String})
+
+	correct := map[qres.TupleRef]bool{}
+	insert := func(s, r, o, source string, isCorrect bool) {
+		ref := db.MustInsert("facts", []any{s, r, o}, map[string]string{"source": source})
+		correct[ref] = isCorrect
+	}
+	insert("volkswagen", "acquired", "audi", "archive.example", true)
+	insert("apple", "acquired", "nokia", "rumors.example", false)
+	insert("google", "acquired", "deepmind", "archive.example", true)
+
+	res, err := db.Query(`SELECT DISTINCT subject FROM facts WHERE relation = 'acquired'`)
+	if err != nil {
+		panic(err)
+	}
+
+	oracle := qres.OracleFunc(func(ref qres.TupleRef) (bool, error) {
+		return correct[ref], nil
+	})
+	out, err := db.Resolve(res, oracle,
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+
+	for i := 0; i < res.Len(); i++ {
+		fmt.Printf("%s correct=%t\n", res.Row(i)[0], out.IsCorrect(i))
+	}
+	// Output:
+	// volkswagen correct=true
+	// apple correct=false
+	// google correct=true
+}
+
+// ExampleResult_Provenance shows the Boolean provenance annotation of an
+// output row: the row is a correct answer exactly when its expression is
+// satisfied by the true/false status of the referenced tuples.
+func ExampleResult_Provenance() {
+	db := qres.New()
+	db.MustCreateTable("reviews",
+		qres.Column{Name: "product", Kind: qres.String},
+		qres.Column{Name: "stars", Kind: qres.Int})
+	db.MustInsert("reviews", []any{"widget", 5}, nil)
+	db.MustInsert("reviews", []any{"widget", 5}, nil)
+	db.MustInsert("reviews", []any{"gadget", 5}, nil)
+
+	res, err := db.Query(`SELECT DISTINCT product FROM reviews WHERE stars = 5`)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < res.Len(); i++ {
+		fmt.Printf("%s: %s\n", res.Row(i)[0], res.Provenance(i))
+	}
+	// Output:
+	// widget: reviews[0] ∨ reviews[1]
+	// gadget: reviews[2]
+}
+
+// ExampleDB_Resolve_knownAnswers seeds the session with verifications that
+// were already performed, so only genuinely new tuples reach the oracle.
+func ExampleDB_Resolve_knownAnswers() {
+	db := qres.New()
+	db.MustCreateTable("t", qres.Column{Name: "x", Kind: qres.Int})
+	ref0 := db.MustInsert("t", []any{1}, nil)
+	ref1 := db.MustInsert("t", []any{2}, nil)
+
+	res, err := db.Query(`SELECT DISTINCT x FROM t`)
+	if err != nil {
+		panic(err)
+	}
+	calls := 0
+	oracle := qres.OracleFunc(func(qres.TupleRef) (bool, error) {
+		calls++
+		return true, nil
+	})
+	out, err := db.Resolve(res, oracle,
+		qres.WithKnownAnswer(ref0, true),
+		qres.WithKnownAnswer(ref1, false),
+		qres.WithStrategy("general"), qres.WithLearning("ep"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("oracle calls: %d, correct rows: %v\n", out.Probes, out.CorrectRows)
+	// Output:
+	// oracle calls: 0, correct rows: [0]
+}

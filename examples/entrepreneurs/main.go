@@ -1,0 +1,122 @@
+// Entrepreneurs: the paper's Section 1 scenario at a realistic size.
+//
+// A data analyst mines a Web-extracted knowledge base for promising
+// entrepreneurs: founders of recently acquired companies. Extraction is
+// noisy — some sources are much less reliable than others — and business
+// recommendations must rest on correct data only, so every answer has to
+// be verified through a (costly) data expert.
+//
+// The example shows the two levers the framework offers:
+//
+//  1. query-guided probing: only tuples in the answer's provenance are
+//     ever considered, and the utility function orders them so that a few
+//     verifications decide many answers;
+//
+//  2. learning from metadata: the expert's past verdicts (seeded as
+//     training examples, then accumulated online) let qres predict which
+//     tuples are likely wrong and verify those first.
+//
+//     go run ./examples/entrepreneurs
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qres"
+)
+
+const (
+	companies        = 120
+	foundersEach     = 2
+	reliableAccuracy = 0.95
+	rumorsAccuracy   = 0.45
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	db := qres.New()
+	db.MustCreateTable("acquisitions",
+		qres.Column{Name: "acquired", Kind: qres.String},
+		qres.Column{Name: "acquirer", Kind: qres.String},
+		qres.Column{Name: "date", Kind: qres.DateKind})
+	db.MustCreateTable("founders",
+		qres.Column{Name: "company", Kind: qres.String},
+		qres.Column{Name: "person", Kind: qres.String})
+
+	truth := make(map[qres.TupleRef]bool)
+	insert := func(table string, values []any) {
+		// Half the facts come from a reliable newswire, half from a rumor
+		// aggregator; correctness follows the source's accuracy — the
+		// correlation the Learner exploits.
+		source, acc := "newswire.example", reliableAccuracy
+		if rng.Intn(2) == 0 {
+			source, acc = "rumors.example", rumorsAccuracy
+		}
+		ref := db.MustInsert(table, values, map[string]string{"source": source})
+		truth[ref] = rng.Float64() < acc
+	}
+
+	for c := 0; c < companies; c++ {
+		company := fmt.Sprintf("startup-%03d", c)
+		year := 2014 + rng.Intn(10)
+		insert("acquisitions", []any{company, fmt.Sprintf("corp-%02d", rng.Intn(15)),
+			qres.Date{Year: year, Month: 1 + rng.Intn(12), Day: 1 + rng.Intn(28)}})
+		for f := 0; f < foundersEach; f++ {
+			insert("founders", []any{company, fmt.Sprintf("person-%03d", rng.Intn(150))})
+		}
+	}
+
+	// Founders of companies acquired since 2017 — the analyst's shortlist.
+	res, err := db.Query(`
+		SELECT DISTINCT f.person
+		FROM acquisitions AS a, founders AS f
+		WHERE a.acquired = f.company AND a.date >= 2017.01.01`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Shortlist has %d candidate entrepreneurs; their correctness depends on %d of %d tuples.\n",
+		res.Len(), res.UniqueTupleCount(), db.NumTuples())
+
+	expert := func(counter *int) qres.Oracle {
+		return qres.OracleFunc(func(ref qres.TupleRef) (bool, error) {
+			*counter++
+			return truth[ref], nil
+		})
+	}
+
+	// The expert's verification history on other projects seeds the
+	// Learner: verdicts about each source's reliability.
+	var seeds []qres.Option
+	for i := 0; i < 60; i++ {
+		src, acc := "newswire.example", reliableAccuracy
+		if i%2 == 0 {
+			src, acc = "rumors.example", rumorsAccuracy
+		}
+		seeds = append(seeds, qres.WithTrainingExample(
+			map[string]string{"source": src}, rng.Float64() < acc))
+	}
+
+	run := func(label string, opts ...qres.Option) int {
+		calls := 0
+		out, err := db.Resolve(res, expert(&calls), opts...)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-34s %4d expert calls, %d verified entrepreneurs\n",
+			label, out.Probes, len(out.CorrectRows))
+		return out.Probes
+	}
+
+	fmt.Println("\nResolution cost by configuration:")
+	naive := res.UniqueTupleCount()
+	fmt.Printf("  %-34s %4d expert calls (verify everything)\n", "naive", naive)
+	run("random order", qres.WithStrategy("random"), qres.WithSeed(3))
+	run("utility only (no learning)",
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(3))
+	all := append([]qres.Option{
+		qres.WithStrategy("general"), qres.WithLearning("online"),
+		qres.WithTrees(30), qres.WithSeed(3),
+	}, seeds...)
+	run("utility + learned probabilities", all...)
+}

@@ -1,0 +1,73 @@
+// Quickstart: the smallest end-to-end use of qres.
+//
+// We load a handful of automatically extracted facts whose correctness is
+// uncertain, ask a query, and let qres decide the exact set of correct
+// answers by asking a simulated expert about as few tuples as possible.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"qres"
+)
+
+func main() {
+	db := qres.New()
+	db.MustCreateTable("acquired",
+		qres.Column{Name: "company", Kind: qres.String},
+		qres.Column{Name: "buyer", Kind: qres.String})
+
+	// Facts extracted from the Web — each might be wrong. The metadata
+	// ("source") is what qres learns correctness from.
+	facts := []struct {
+		company, buyer, source string
+		actuallyCorrect        bool
+	}{
+		{"audi", "volkswagen", "reliable.example", true},
+		{"whatsapp", "facebook", "reliable.example", true},
+		{"nokia", "apple", "rumors.example", false},
+		{"github", "microsoft", "reliable.example", true},
+		{"spacex", "google", "rumors.example", false},
+		{"deepmind", "google", "reliable.example", true},
+	}
+	truth := make(map[qres.TupleRef]bool)
+	for _, f := range facts {
+		ref := db.MustInsert("acquired", []any{f.company, f.buyer},
+			map[string]string{"source": f.source})
+		truth[ref] = f.actuallyCorrect
+	}
+
+	// Which companies did Google acquire, for certain?
+	res, err := db.Query(`SELECT DISTINCT company FROM acquired WHERE buyer = 'google'`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Uncertain answer with provenance:")
+	fmt.Print(res)
+
+	// The oracle stands in for a human expert; qres calls it as rarely as
+	// it can.
+	probes := 0
+	expert := qres.OracleFunc(func(ref qres.TupleRef) (bool, error) {
+		probes++
+		values, _, _ := db.Tuple(ref)
+		fmt.Printf("  expert verifies %v: %t\n", values, truth[ref])
+		return truth[ref], nil
+	})
+
+	out, err := db.Resolve(res, expert, qres.WithStrategy("general"), qres.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\nVerified with %d expert call(s):\n", out.Probes)
+	for i := 0; i < res.Len(); i++ {
+		mark := "✗"
+		if out.IsCorrect(i) {
+			mark = "✓"
+		}
+		fmt.Printf("  %s %v\n", mark, res.Row(i))
+	}
+}

@@ -1,0 +1,3 @@
+module qres
+
+go 1.22

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+
+	"qres/internal/resolve"
+	"qres/internal/stats"
+)
+
+// AblationSelector compares the Probe Selector combination functions of
+// Section 6 — u·(v+1), αu+βv, utility-only, threshold — under the
+// General+LAL configuration on Q8. The paper chose u·(v+1) empirically.
+func AblationSelector(sc Scale, seed int64) (*Report, error) {
+	rep := &Report{
+		ID:      "ablation-selector",
+		Title:   "Selector combination functions (Q8, General+LAL)",
+		Columns: []string{"mean probes"},
+	}
+	w, err := LoadTPCH("Q8", sc, RDTGroundTruth(), seed)
+	if err != nil {
+		return nil, err
+	}
+	sub := w.Subset(rowCap(sc), stats.SubSeed(seed, 110))
+
+	combos := []resolve.Combine{
+		resolve.CombineProduct(),
+		resolve.CombineLinear(1, 50),
+		resolve.CombineUtilityOnly(),
+		resolve.CombineThreshold(0.02, 1e6),
+	}
+	for i := range combos {
+		c := combos[i]
+		cfg := resolve.Config{
+			Utility:  resolve.General{},
+			Learning: resolve.LearnOnline,
+			Trees:    sc.Trees,
+			Combine:  &c,
+		}
+		mean, err := sub.AverageProbes(cfg, sc.InitialProbes, sc.Reps, stats.SubSeed(seed, 111+i))
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(c.Name(), mean)
+	}
+	return rep, nil
+}
+
+// AblationModel compares the Learner's classifiers — random forest vs
+// naive Bayes — under General+Offline on Q8. The paper reports NB
+// "performed similarly or slightly worse than RF".
+func AblationModel(sc Scale, seed int64) (*Report, error) {
+	rep := &Report{
+		ID:      "ablation-model",
+		Title:   "Learner classifier (Q8, General+Offline)",
+		Columns: []string{"mean probes"},
+	}
+	w, err := LoadTPCH("Q8", sc, RDTGroundTruth(), seed)
+	if err != nil {
+		return nil, err
+	}
+	sub := w.Subset(rowCap(sc), stats.SubSeed(seed, 120))
+	for i, m := range []resolve.ModelKind{resolve.ModelRF, resolve.ModelNB} {
+		cfg := resolve.Config{
+			Utility:  resolve.General{},
+			Learning: resolve.LearnOffline,
+			Model:    m,
+			Trees:    sc.Trees,
+		}
+		mean, err := sub.AverageProbes(cfg, sc.InitialProbes, sc.Reps, stats.SubSeed(seed, 121+i))
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(m.String(), mean)
+	}
+	return rep, nil
+}
+
+// AblationSplitBound sweeps the splitting bound B (max DNF terms per part)
+// on Q5, whose few huge expressions make splitting mandatory for Q-Value
+// and consequential for every solution: smaller parts mean cheaper CNFs
+// but more probes (each part must be decided separately).
+func AblationSplitBound(sc Scale, seed int64) (*Report, error) {
+	rep := &Report{
+		ID:      "ablation-splitbound",
+		Title:   "Splitting bound B (Q5, General with known probabilities)",
+		Columns: []string{"mean probes", "parts"},
+	}
+	w, err := LoadTPCH("Q5", sc, RDTGroundTruth(), seed)
+	if err != nil {
+		return nil, err
+	}
+	sub := w.Subset(rowCap(sc), stats.SubSeed(seed, 130))
+	for i, b := range []int{4, 8, 16, 32} {
+		cfg := resolve.Config{
+			Utility:       resolve.General{},
+			KnownProbs:    sub.GT.Prob,
+			SplitAll:      true,
+			SplitMaxTerms: b,
+		}
+		mean, err := sub.AverageProbes(cfg, 0, sc.Reps, stats.SubSeed(seed, 131+i))
+		if err != nil {
+			return nil, err
+		}
+		// Count parts at this bound.
+		parts := 0
+		for _, e := range sub.Result.Provenance() {
+			n := e.NumTerms()
+			parts += (n + b - 1) / b
+			if n == 0 {
+				parts++
+			}
+		}
+		rep.AddRow(fmt.Sprintf("B=%d", b), mean, float64(parts))
+	}
+	rep.Note("smaller B: more parts and more probes; larger B: costlier per-part CNF (Q-Value only)")
+	return rep, nil
+}
+
+// AblationTrees sweeps the random-forest size on Q8 under
+// General+Offline: more trees sharpen probability estimates (fewer
+// probes) at higher per-probe training cost.
+func AblationTrees(sc Scale, seed int64) (*Report, error) {
+	rep := &Report{
+		ID:      "ablation-trees",
+		Title:   "Forest size (Q8, General+Offline)",
+		Columns: []string{"mean probes"},
+	}
+	w, err := LoadTPCH("Q8", sc, RDTGroundTruth(), seed)
+	if err != nil {
+		return nil, err
+	}
+	sub := w.Subset(rowCap(sc), stats.SubSeed(seed, 140))
+	for i, n := range []int{10, 25, 100} {
+		cfg := resolve.Config{
+			Utility:  resolve.General{},
+			Learning: resolve.LearnOffline,
+			Trees:    n,
+		}
+		mean, err := sub.AverageProbes(cfg, sc.InitialProbes, sc.Reps, stats.SubSeed(seed, 141+i))
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(fmt.Sprintf("trees=%d", n), mean)
+	}
+	return rep, nil
+}
+
+// AblationParallel compares sequential resolution against
+// component-parallel resolution on MS1 (Section 6): total probes stay in
+// the same range while the critical path (sequential oracle rounds)
+// shrinks to the largest component's.
+func AblationParallel(sc Scale, seed int64) (*Report, error) {
+	rep := &Report{
+		ID:      "ablation-parallel",
+		Title:   "Component-parallel probing (MS1, General+EP)",
+		Columns: []string{"total probes", "critical path", "components"},
+	}
+	w, err := LoadNELL("MS1", sc, RDTGroundTruth(), seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := resolve.Config{Utility: resolve.General{}, Learning: resolve.LearnEP, Seed: stats.SubSeed(seed, 150)}
+
+	probes, _, err := w.RunConfig(cfg, 0, stats.SubSeed(seed, 151))
+	if err != nil {
+		return nil, err
+	}
+	rep.AddRow("sequential", float64(probes), float64(probes), 1)
+
+	out, err := resolve.ResolveParallel(w.DB, w.Result, w.Oracle(), resolve.NewRepository(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddRow("parallel", float64(out.Probes), float64(out.CriticalPathProbes), float64(out.Components))
+	rep.Note("parallelism preserves probe totals up to per-component learning; latency follows the critical path")
+	return rep, nil
+}

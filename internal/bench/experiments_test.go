@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsTiny smoke-runs every registered experiment driver at
+// the tiny scale: each must complete without error and produce a
+// non-empty, renderable report. This is the harness's end-to-end safety
+// net; shape assertions live in the per-experiment tests.
+func TestAllExperimentsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow; skipped with -short")
+	}
+	sc := tinyScale()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(sc, 43)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report ID %q != experiment ID %q", rep.ID, e.ID)
+			}
+			if len(rep.Rows) == 0 || len(rep.Columns) == 0 {
+				t.Fatalf("%s: empty report", e.ID)
+			}
+			var tbl strings.Builder
+			rep.WriteTable(&tbl)
+			if !strings.Contains(tbl.String(), e.ID) {
+				t.Errorf("%s: table rendering broken", e.ID)
+			}
+			var csv strings.Builder
+			rep.WriteCSV(&csv)
+			if len(strings.Split(strings.TrimSpace(csv.String()), "\n")) != len(rep.Rows)+1 {
+				t.Errorf("%s: csv row count wrong", e.ID)
+			}
+		})
+	}
+}
+
+// Fig9's central shape claim at tiny scale: learning never hurts much —
+// Offline and Online end within a reasonable band of EP. (The strict
+// Online <= Offline <= EP ordering needs the full scale and repetitions;
+// here we only guard against gross regressions.)
+func TestFig9Sanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep, err := Fig9(tinyScale(), 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, ok1 := rep.Value("EP", "repo=0")
+	off, ok2 := rep.Value("Offline", "repo=1280")
+	if !ok1 || !ok2 {
+		t.Fatal("missing cells")
+	}
+	if ep <= 0 || off <= 0 {
+		t.Fatal("degenerate probe counts")
+	}
+	if off > ep*1.5 {
+		t.Errorf("Offline with a large repository (%f) much worse than EP (%f)", off, ep)
+	}
+}

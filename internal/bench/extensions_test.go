@@ -1,0 +1,86 @@
+package bench
+
+import "testing"
+
+func TestExtNoisyTiny(t *testing.T) {
+	rep, err := ExtNoisy(tinyScale(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// A noise-free oracle yields zero wrong answers.
+	if wrong, ok := rep.Value("error rate 0.00", "wrong answers"); !ok || wrong != 0 {
+		t.Errorf("noise-free run produced %f wrong answers", wrong)
+	}
+	// The answer error percentage never exceeds 100.
+	for _, row := range rep.Rows {
+		if len(row.Values) == 3 && (row.Values[2] < 0 || row.Values[2] > 100) {
+			t.Errorf("%s: error %% = %f", row.Label, row.Values[2])
+		}
+	}
+}
+
+func TestExtCostTiny(t *testing.T) {
+	rep, err := ExtCost(tinyScale(), 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindCost, ok1 := rep.Value("cost-blind", "total cost")
+	awareCost, ok2 := rep.Value("cost-aware", "total cost")
+	blindProbes, _ := rep.Value("cost-blind", "probes")
+	awareProbes, _ := rep.Value("cost-aware", "probes")
+	if !ok1 || !ok2 {
+		t.Fatal("missing report cells")
+	}
+	if blindCost < blindProbes || awareCost < awareProbes {
+		t.Error("total cost cannot be below the probe count (every cost >= 1)")
+	}
+	// The cost-aware selector should not cost more than the blind one (it
+	// defers expensive probes); allow equality for degenerate cases.
+	if awareCost > blindCost*1.2 {
+		t.Errorf("cost-aware (%f) much worse than cost-blind (%f)", awareCost, blindCost)
+	}
+}
+
+func TestExtFeaturesTiny(t *testing.T) {
+	rep, err := ExtFeatures(tinyScale(), 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no feature importances reported")
+	}
+	for _, col := range rep.Columns {
+		var sum float64
+		for _, row := range rep.Rows {
+			v, ok := rep.Value(row.Label, col)
+			if !ok {
+				t.Fatalf("missing cell %s/%s", row.Label, col)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("%s/%s importance %f out of range", row.Label, col, v)
+			}
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("column %s importances sum to %f, want ~1", col, sum)
+		}
+	}
+}
+
+func TestCostAccountingDefaults(t *testing.T) {
+	// Without a Costs map, cost equals the probe count.
+	w, err := LoadNELL("MS2", tinyScale(), FixedGroundTruth(0.5), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := w.RunWithOracle(resolveGeneralEP(), 0, 33, w.Oracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Cost != float64(out.Probes) {
+		t.Errorf("default cost = %f, probes = %d", out.Stats.Cost, out.Probes)
+	}
+}

@@ -1,0 +1,148 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation section (Section 7) over the
+// synthetic NELL-like and TPC-H-like substrates. Each experiment driver
+// prepares a workload (data, query, ground truth, seeded Known Probes
+// Repository), runs the compared solutions, and emits a Report with the
+// same rows/series the paper plots.
+//
+// Absolute probe counts differ from the paper's (the substrate is a
+// seeded generator at a reduced scale factor, not the authors' datasets);
+// the reproduced quantity is the shape: which algorithm wins, by roughly
+// what factor, and where the crossovers fall. EXPERIMENTS.md records
+// paper-vs-measured per experiment.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one regenerated table or figure: labeled rows of numeric
+// series under column headers.
+type Report struct {
+	// ID is the experiment identifier ("fig5", "table3", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the series headers (after the row-label column).
+	Columns []string
+	// Rows are the labeled series.
+	Rows []Row
+	// Notes carries free-form observations (e.g. shape checks).
+	Notes []string
+}
+
+// Row is one labeled series of a report.
+type Row struct {
+	Label  string
+	Values []float64
+	// Text overrides numeric rendering when set (used by table3's "-").
+	Text []string
+}
+
+// AddRow appends a numeric row.
+func (r *Report) AddRow(label string, values ...float64) {
+	r.Rows = append(r.Rows, Row{Label: label, Values: values})
+}
+
+// AddTextRow appends a preformatted row.
+func (r *Report) AddTextRow(label string, cells ...string) {
+	r.Rows = append(r.Rows, Row{Label: label, Text: cells})
+}
+
+// Note appends an observation line.
+func (r *Report) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// cells renders a row's cells.
+func (row Row) cells() []string {
+	if row.Text != nil {
+		return row.Text
+	}
+	out := make([]string, len(row.Values))
+	for i, v := range row.Values {
+		switch {
+		case v == float64(int64(v)) && v < 1e15:
+			out[i] = fmt.Sprintf("%d", int64(v))
+		default:
+			out[i] = fmt.Sprintf("%.3f", v)
+		}
+	}
+	return out
+}
+
+// WriteTable renders the report as an aligned text table.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	header := append([]string{""}, r.Columns...)
+	rows := [][]string{header}
+	for _, row := range r.Rows {
+		rows = append(rows, append([]string{row.Label}, row.cells()...))
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// WriteCSV renders the report as CSV (label column first).
+func (r *Report) WriteCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, 0, len(r.Columns)+1)
+	cols = append(cols, "label")
+	cols = append(cols, r.Columns...)
+	for i := range cols {
+		cols[i] = esc(cols[i])
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, row := range r.Rows {
+		cells := append([]string{row.Label}, row.cells()...)
+		for i := range cells {
+			cells[i] = esc(cells[i])
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Value looks up a cell by row label and column header; ok is false when
+// either is missing. Shape checks in tests and EXPERIMENTS.md generation
+// use it.
+func (r *Report) Value(label, column string) (float64, bool) {
+	ci := -1
+	for i, c := range r.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, row := range r.Rows {
+		if row.Label == label && ci < len(row.Values) && row.Text == nil {
+			return row.Values[ci], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,115 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// evalAt evaluates e under the valuation encoded by mask over nvars
+// variables.
+func evalAt(e Expr, mask, nvars int) bool {
+	val := NewValuation()
+	for v := 0; v < nvars; v++ {
+		val.Set(Var(v), mask&(1<<v) != 0)
+	}
+	return e.Eval(val)
+}
+
+// The Boolean-algebra laws the provenance semiring relies on, verified
+// exhaustively over all valuations of small random expressions: And is
+// conjunction, Or is disjunction, both are commutative and associative,
+// and absorption/idempotence hold.
+func TestAlgebraLawsExhaustive(t *testing.T) {
+	const nvars = 5
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		a := randomExpr(rng, nvars, 3, 3)
+		b := randomExpr(rng, nvars, 3, 3)
+		c := randomExpr(rng, nvars, 3, 3)
+
+		and := a.And(b)
+		or := a.Or(b)
+		andBA := b.And(a)
+		orBA := b.Or(a)
+		andAssoc1, andAssoc2 := a.And(b).And(c), a.And(b.And(c))
+		orAssoc1, orAssoc2 := a.Or(b).Or(c), a.Or(b.Or(c))
+		distrib1, distrib2 := a.And(b.Or(c)), a.And(b).Or(a.And(c))
+		idemAnd, idemOr := a.And(a), a.Or(a)
+		absorb1, absorb2 := a.Or(a.And(b)), a.And(a.Or(b))
+
+		for mask := 0; mask < 1<<nvars; mask++ {
+			va, vb, vc := evalAt(a, mask, nvars), evalAt(b, mask, nvars), evalAt(c, mask, nvars)
+			checks := []struct {
+				name string
+				e    Expr
+				want bool
+			}{
+				{"and", and, va && vb},
+				{"or", or, va || vb},
+				{"and-comm", andBA, va && vb},
+				{"or-comm", orBA, va || vb},
+				{"and-assoc-l", andAssoc1, va && vb && vc},
+				{"and-assoc-r", andAssoc2, va && vb && vc},
+				{"or-assoc-l", orAssoc1, va || vb || vc},
+				{"or-assoc-r", orAssoc2, va || vb || vc},
+				{"distrib-l", distrib1, va && (vb || vc)},
+				{"distrib-r", distrib2, va && (vb || vc)},
+				{"idem-and", idemAnd, va},
+				{"idem-or", idemOr, va},
+				{"absorb-or", absorb1, va},
+				{"absorb-and", absorb2, va},
+			}
+			for _, ch := range checks {
+				if got := evalAt(ch.e, mask, nvars); got != ch.want {
+					t.Fatalf("trial %d mask %b: %s = %t, want %t (a=%v b=%v c=%v)",
+						trial, mask, ch.name, got, ch.want, a, b, c)
+				}
+			}
+		}
+		// Canonical-form syntactic laws (beyond semantic equality).
+		if !andBA.Equal(and) {
+			t.Fatalf("And not syntactically commutative: %v vs %v", and, andBA)
+		}
+		if !orBA.Equal(or) {
+			t.Fatalf("Or not syntactically commutative: %v vs %v", or, orBA)
+		}
+		if !idemOr.Equal(a) {
+			t.Fatalf("a ∨ a != a: %v vs %v", idemOr, a)
+		}
+		if !absorb1.Equal(a) {
+			t.Fatalf("absorption a ∨ (a∧b) != a: %v vs %v", absorb1, a)
+		}
+	}
+}
+
+// Simplify is idempotent and monotone in the valuation: simplifying with
+// val then with more of the same valuation equals simplifying once with
+// the union.
+func TestSimplifyComposition(t *testing.T) {
+	const nvars = 6
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		e := randomExpr(rng, nvars, 5, 3)
+		v1, v2 := NewValuation(), NewValuation()
+		both := NewValuation()
+		for v := 0; v < nvars; v++ {
+			value := rng.Intn(2) == 0
+			switch rng.Intn(3) {
+			case 0:
+				v1.Set(Var(v), value)
+				both.Set(Var(v), value)
+			case 1:
+				v2.Set(Var(v), value)
+				both.Set(Var(v), value)
+			}
+		}
+		once := e.Simplify(both)
+		twice := e.Simplify(v1).Simplify(v2)
+		if !once.Equal(twice) {
+			t.Fatalf("trial %d: Simplify not compositional: %v vs %v", trial, once, twice)
+		}
+		if !once.Simplify(both).Equal(once) {
+			t.Fatalf("trial %d: Simplify not idempotent", trial)
+		}
+	}
+}

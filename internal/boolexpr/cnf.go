@@ -1,0 +1,156 @@
+package boolexpr
+
+// CNF is a monotone conjunctive normal form: a conjunction of disjunctive
+// clauses over positive variables. It is the dual representation the
+// Q-Value utility needs: nt counts DNF terms (ways to prove True) and nc
+// counts CNF clauses (ways to prove False, one False variable per clause).
+//
+// Clauses reuse Term for their canonical sorted-variable representation.
+type CNF struct {
+	clauses []Term
+}
+
+// Clauses returns the canonical clauses. The slice must not be modified.
+func (c CNF) Clauses() []Term { return c.clauses }
+
+// NumClauses returns nc, the number of CNF clauses. By the conventions of
+// the paper's Formula (1): the constant True has nc = 0 (empty conjunction)
+// and the constant False has a single empty clause.
+func (c CNF) NumClauses() int { return len(c.clauses) }
+
+// IsTrue reports whether c is the constant True (no clauses).
+func (c CNF) IsTrue() bool { return len(c.clauses) == 0 }
+
+// IsFalse reports whether c is the constant False (contains the empty
+// clause).
+func (c CNF) IsFalse() bool { return len(c.clauses) == 1 && len(c.clauses[0]) == 0 }
+
+// Eval evaluates the CNF under a valuation; unassigned variables are
+// treated as False, mirroring Expr.Eval.
+func (c CNF) Eval(val *Valuation) bool {
+	for _, clause := range c.clauses {
+		sat := false
+		for _, v := range clause {
+			if value, ok := val.Get(v); ok && value {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// ClausesWithout counts the clauses that do not contain v. When v is set to
+// True every clause containing v is satisfied, so this is nc(val_{v=True}).
+func (c CNF) ClausesWithout(v Var) int {
+	n := 0
+	for _, clause := range c.clauses {
+		if !clause.Contains(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// HasUnitClause reports whether some clause is exactly {v}. If so, setting
+// v to False falsifies the whole expression.
+func (c CNF) HasUnitClause(v Var) bool {
+	for _, clause := range c.clauses {
+		if len(clause) == 1 && clause[0] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ToCNF converts the monotone DNF e into an equivalent canonical CNF by
+// distribution with absorption. The number of clauses of a k-DNF with m
+// terms can reach k^m, so the conversion is bounded: if at any point more
+// than maxClauses clauses survive absorption, conversion aborts and ok is
+// false. The paper handles this case by splitting the expression into
+// smaller DNFs first (Section 7.1, pre-processing); see Split.
+//
+// A maxClauses of 0 or below means "no bound".
+func (e Expr) ToCNF(maxClauses int) (cnf CNF, ok bool) {
+	if e.IsFalse() {
+		return CNF{clauses: []Term{{}}}, true
+	}
+	if e.IsTrue() {
+		return CNF{}, true
+	}
+	// Distribute: CNF(T1 ∨ ... ∨ Tm) = ⋀ { {v1..vm} : vi ∈ Ti }, built
+	// term by term with absorption after each round to keep the
+	// intermediate clause set small.
+	clauses := []Term{{}}
+	for _, t := range e.terms {
+		next := make([]Term, 0, len(clauses)*len(t))
+		for _, c := range clauses {
+			for _, v := range t {
+				if c.Contains(v) {
+					next = append(next, c)
+					continue
+				}
+				merged := make(Term, 0, len(c)+1)
+				merged = append(merged, c...)
+				merged = append(merged, v)
+				next = append(next, NewTerm(merged...))
+			}
+		}
+		clauses = absorb(next)
+		if maxClauses > 0 && len(clauses) > maxClauses {
+			return CNF{}, false
+		}
+	}
+	return CNF{clauses: clauses}, true
+}
+
+// absorb sorts clauses shortest-first and removes duplicates and supersets
+// of kept clauses (X ∧ (X∨Y) = X in the clause lattice).
+func absorb(clauses []Term) []Term {
+	e := canonicalize(clauses)
+	if e.IsTrue() {
+		// canonicalize interprets the empty term as the DNF constant
+		// True; for clause sets an empty clause means the CNF constant
+		// False with a single empty clause — same representation.
+		return []Term{{}}
+	}
+	return e.terms
+}
+
+// AssumeCounts reports the term and clause counts of e after hypothetically
+// probing v, without materializing the simplified expressions. cnf must be
+// the CNF of e. Following the conventions of the paper's Formula (1):
+//
+//   - if v=True decides e to True, ncTrue = 0 (and ntTrue is e's count);
+//   - if v=False decides e to False, ntFalse = 0.
+//
+// Counts are computed by filtering, not by full re-canonicalization, so
+// they can over-count by terms/clauses that absorption would merge; the
+// products nt·nc used by Q-Value are exact in the decided cases (they are
+// zero) and a close upper bound otherwise. Full re-simplification happens
+// once per actual probe, not per candidate, which keeps utility computation
+// linear in the provenance size.
+func (e Expr) AssumeCounts(cnf CNF, v Var) (ntTrue, ncTrue, ntFalse, ncFalse int) {
+	// v = True: DNF terms keep their count (v is just removed from its
+	// terms); the expression becomes True iff some term is exactly {v}.
+	// CNF clauses containing v are satisfied and disappear.
+	ntTrue = len(e.terms)
+	ncTrue = cnf.ClausesWithout(v)
+
+	// v = False: DNF terms containing v are falsified and disappear; the
+	// expression becomes False iff every term contains v. CNF clauses keep
+	// their count unless some clause is exactly {v}, which decides False.
+	for _, t := range e.terms {
+		if !t.Contains(v) {
+			ntFalse++
+		}
+	}
+	ncFalse = cnf.NumClauses()
+	if cnf.HasUnitClause(v) || ntFalse == 0 {
+		ntFalse = 0
+	}
+	return ntTrue, ncTrue, ntFalse, ncFalse
+}

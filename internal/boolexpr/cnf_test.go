@@ -1,0 +1,177 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToCNFConstants(t *testing.T) {
+	cnf, ok := True().ToCNF(0)
+	if !ok || !cnf.IsTrue() || cnf.NumClauses() != 0 {
+		t.Errorf("CNF(True) = %v, ok=%t", cnf, ok)
+	}
+	cnf, ok = False().ToCNF(0)
+	if !ok || !cnf.IsFalse() || cnf.NumClauses() != 1 {
+		t.Errorf("CNF(False) = %v, ok=%t", cnf, ok)
+	}
+}
+
+func TestToCNFSimple(t *testing.T) {
+	x, y, z := Var(0), Var(1), Var(2)
+	// (x∧y) ∨ z  ==  (x∨z) ∧ (y∨z)
+	e := NewExpr(NewTerm(x, y), NewTerm(z))
+	cnf, ok := e.ToCNF(0)
+	if !ok {
+		t.Fatal("conversion failed")
+	}
+	if cnf.NumClauses() != 2 {
+		t.Fatalf("nc = %d, want 2 (%v)", cnf.NumClauses(), cnf.Clauses())
+	}
+
+	// A single literal: one unit clause.
+	cnf, ok = Lit(x).ToCNF(0)
+	if !ok || cnf.NumClauses() != 1 || !cnf.HasUnitClause(x) {
+		t.Fatalf("CNF(x) wrong: %v", cnf.Clauses())
+	}
+
+	// Pure disjunction x ∨ y ∨ z: a single 3-clause.
+	e = NewExpr(NewTerm(x), NewTerm(y), NewTerm(z))
+	cnf, ok = e.ToCNF(0)
+	if !ok || cnf.NumClauses() != 1 || len(cnf.Clauses()[0]) != 3 {
+		t.Fatalf("CNF(x∨y∨z) wrong: %v", cnf.Clauses())
+	}
+
+	// Pure conjunction x ∧ y ∧ z: three unit clauses.
+	e = NewExpr(NewTerm(x, y, z))
+	cnf, ok = e.ToCNF(0)
+	if !ok || cnf.NumClauses() != 3 {
+		t.Fatalf("CNF(x∧y∧z) wrong: %v", cnf.Clauses())
+	}
+}
+
+// CNF conversion must preserve semantics; verified exhaustively over all
+// valuations of small random expressions.
+func TestToCNFEquivalenceExhaustive(t *testing.T) {
+	const nvars = 5
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		e := randomExpr(rng, nvars, 4, 3)
+		cnf, ok := e.ToCNF(0)
+		if !ok {
+			t.Fatalf("unbounded conversion failed for %v", e)
+		}
+		for mask := 0; mask < 1<<nvars; mask++ {
+			val := NewValuation()
+			for v := 0; v < nvars; v++ {
+				val.Set(Var(v), mask&(1<<v) != 0)
+			}
+			if e.Eval(val) != cnf.Eval(val) {
+				t.Fatalf("CNF mismatch for %v at mask %b: dnf=%t cnf=%t",
+					e, mask, e.Eval(val), cnf.Eval(val))
+			}
+		}
+	}
+}
+
+func TestToCNFBound(t *testing.T) {
+	// A 3-DNF with many disjoint terms explodes in CNF; the bound must trip.
+	rng := rand.New(rand.NewSource(3))
+	terms := make([]Term, 0, 12)
+	for i := 0; i < 12; i++ {
+		base := Var(i * 3)
+		terms = append(terms, NewTerm(base, base+1, base+2))
+	}
+	_ = rng
+	e := NewExpr(terms...)
+	if _, ok := e.ToCNF(100); ok {
+		t.Fatal("expected bound to trip for 3^12 clauses")
+	}
+	// Unbounded conversion on a smaller disjoint 3-DNF (3^7 = 2187
+	// clauses) must succeed with the exact clause count: disjoint terms
+	// admit no absorption.
+	small := NewExpr(terms[:7]...)
+	cnf, ok := small.ToCNF(0)
+	if !ok {
+		t.Fatal("unbounded conversion should succeed")
+	}
+	if got := cnf.NumClauses(); got != 2187 {
+		t.Fatalf("nc = %d, want 3^7 = 2187", got)
+	}
+}
+
+func TestAssumeCounts(t *testing.T) {
+	x, y, z := Var(0), Var(1), Var(2)
+	// e = (x∧y) ∨ (x∧z): nt=2; CNF = x ∧ (y∨z): nc=2.
+	e := NewExpr(NewTerm(x, y), NewTerm(x, z))
+	cnf, ok := e.ToCNF(0)
+	if !ok {
+		t.Fatal("conversion failed")
+	}
+	if cnf.NumClauses() != 2 {
+		t.Fatalf("nc = %d, want 2 (%v)", cnf.NumClauses(), cnf.Clauses())
+	}
+
+	// Probing x: if False the whole expression is False (unit clause x),
+	// so ntFalse = 0. If True, clause {x} disappears: ncTrue = 1.
+	ntT, ncT, ntF, ncF := e.AssumeCounts(cnf, x)
+	if ntT != 2 || ncT != 1 {
+		t.Errorf("x=True: nt=%d nc=%d, want 2,1", ntT, ncT)
+	}
+	if ntF != 0 {
+		t.Errorf("x=False: nt=%d, want 0 (expression decided False)", ntF)
+	}
+	_ = ncF
+
+	// Probing y: if False, term (x∧y) drops: ntFalse=1. If True, clause
+	// (y∨z) satisfied: ncTrue=1. Neither value decides e.
+	ntT, ncT, ntF, ncF = e.AssumeCounts(cnf, y)
+	if ntT != 2 || ncT != 1 || ntF != 1 || ncF != 2 {
+		t.Errorf("y: got %d,%d,%d,%d want 2,1,1,2", ntT, ncT, ntF, ncF)
+	}
+}
+
+// For every variable and hypothetical value, AssumeCounts must report a
+// zero nt·nc product exactly when the simplified expression is decided.
+func TestAssumeCountsDecidedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 6, 4, 3)
+		if e.Decided() {
+			return true
+		}
+		cnf, ok := e.ToCNF(0)
+		if !ok {
+			return true
+		}
+		for _, v := range e.Vars() {
+			ntT, ncT, ntF, ncF := e.AssumeCounts(cnf, v)
+
+			simpT := e.Simplify(NewValuation().With(v, true))
+			if simpT.Decided() != (ntT*ncT == 0) {
+				return false
+			}
+			simpF := e.Simplify(NewValuation().With(v, false))
+			if simpF.Decided() != (ntF*ncF == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClausesWithout(t *testing.T) {
+	x, y := Var(0), Var(1)
+	e := NewExpr(NewTerm(x), NewTerm(y)) // CNF: single clause (x∨y)
+	cnf, _ := e.ToCNF(0)
+	if got := cnf.ClausesWithout(x); got != 0 {
+		t.Errorf("ClausesWithout(x) = %d, want 0", got)
+	}
+	if got := cnf.ClausesWithout(Var(9)); got != 1 {
+		t.Errorf("ClausesWithout(unused) = %d, want 1", got)
+	}
+}

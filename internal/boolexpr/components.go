@@ -1,0 +1,65 @@
+package boolexpr
+
+import "sort"
+
+// Components partitions the expressions at the given indices into groups
+// that are pairwise variable-disjoint. Expressions in different groups
+// share no variables, so they can be resolved by concurrent, independent
+// probe-selection processes without affecting the total number of probes
+// (Section 6, parallel probe selection). Decided expressions form no
+// groups.
+//
+// The result is a list of index groups; indices within a group and groups
+// themselves are sorted for determinism (groups by their smallest index).
+func Components(exprs []Expr) [][]int {
+	// Union-find over variables.
+	parent := make(map[Var]Var)
+	var find func(v Var) Var
+	find = func(v Var) Var {
+		p, ok := parent[v]
+		if !ok {
+			parent[v] = v
+			return v
+		}
+		if p == v {
+			return v
+		}
+		root := find(p)
+		parent[v] = root
+		return root
+	}
+	union := func(a, b Var) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for _, e := range exprs {
+		vars := e.Vars()
+		for i := 1; i < len(vars); i++ {
+			union(vars[0], vars[i])
+		}
+	}
+
+	groups := make(map[Var][]int)
+	for i, e := range exprs {
+		if e.Decided() {
+			continue
+		}
+		vars := e.Vars()
+		if len(vars) == 0 {
+			continue
+		}
+		root := find(vars[0])
+		groups[root] = append(groups[root], i)
+	}
+
+	out := make([][]int, 0, len(groups))
+	for _, idxs := range groups {
+		sort.Ints(idxs)
+		out = append(out, idxs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,96 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestComponentsDisjoint(t *testing.T) {
+	exprs := []Expr{
+		NewExpr(NewTerm(0, 1)),          // component A
+		NewExpr(NewTerm(2), NewTerm(3)), // component B
+		NewExpr(NewTerm(1, 4)),          // shares var 1 with expr 0 → A
+		True(),                          // decided, excluded
+	}
+	groups := Components(exprs)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %v", len(groups), groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 2 {
+		t.Fatalf("group 0 = %v, want [0 2]", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 1 {
+		t.Fatalf("group 1 = %v, want [1]", groups[1])
+	}
+}
+
+func TestComponentsAllConnected(t *testing.T) {
+	exprs := []Expr{
+		NewExpr(NewTerm(0, 1)),
+		NewExpr(NewTerm(1, 2)),
+		NewExpr(NewTerm(2, 3)),
+	}
+	groups := Components(exprs)
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("chain should be one component: %v", groups)
+	}
+}
+
+// Components must be a partition of the undecided expressions, and any two
+// expressions in different groups must be variable-disjoint.
+func TestComponentsPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		exprs := make([]Expr, n)
+		for i := range exprs {
+			exprs[i] = randomExpr(rng, 12, 4, 3)
+		}
+		groups := Components(exprs)
+
+		seen := make(map[int]int) // expr index -> group
+		for g, idxs := range groups {
+			for _, i := range idxs {
+				if prev, dup := seen[i]; dup {
+					t.Fatalf("expression %d in groups %d and %d", i, prev, g)
+				}
+				seen[i] = g
+			}
+		}
+		for i, e := range exprs {
+			_, grouped := seen[i]
+			undecided := !e.Decided() && len(e.Vars()) > 0
+			if grouped != undecided {
+				t.Fatalf("expression %d grouped=%t undecided=%t", i, grouped, undecided)
+			}
+		}
+		// Cross-group variable disjointness.
+		groupVars := make([]map[Var]bool, len(groups))
+		for g, idxs := range groups {
+			groupVars[g] = make(map[Var]bool)
+			for _, i := range idxs {
+				for _, v := range exprs[i].Vars() {
+					groupVars[g][v] = true
+				}
+			}
+		}
+		for a := 0; a < len(groups); a++ {
+			for b := a + 1; b < len(groups); b++ {
+				for v := range groupVars[a] {
+					if groupVars[b][v] {
+						t.Fatalf("groups %d and %d share variable %d", a, b, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	if got := Components(nil); len(got) != 0 {
+		t.Fatalf("Components(nil) = %v", got)
+	}
+	if got := Components([]Expr{True(), False()}); len(got) != 0 {
+		t.Fatalf("decided-only input should yield no groups: %v", got)
+	}
+}

@@ -1,0 +1,84 @@
+package boolexpr
+
+import "sort"
+
+// GreedyCover computes a small set of variables that together cover every
+// DNF term of the given expressions (each term contains at least one cover
+// variable). This is the paper's provenance skewness statistic (Section
+// 7.1): a small cover means a few variables dominate the provenance
+// ("skewed"); queries are classified as skewed (cover ≤ 10), moderately
+// skewed (11–50) and non-skewed (no cover of size ≤ 50 found).
+//
+// Minimum cover is NP-hard (it is a hitting-set), so like the paper we use
+// the standard greedy heuristic: repeatedly pick the variable occurring in
+// the most uncovered terms. If the greedy cover exceeds maxSize the search
+// stops and ok is false (Table 3 reports "-" for such queries). A maxSize
+// of 0 or below means "no limit".
+func GreedyCover(exprs []Expr, maxSize int) (cover []Var, ok bool) {
+	// Collect all undecided terms.
+	var terms []Term
+	for _, e := range exprs {
+		if e.Decided() {
+			continue
+		}
+		terms = append(terms, e.terms...)
+	}
+	if len(terms) == 0 {
+		return nil, true
+	}
+
+	covered := make([]bool, len(terms))
+	remaining := len(terms)
+	for remaining > 0 {
+		if maxSize > 0 && len(cover) >= maxSize {
+			return cover, false
+		}
+		// Count occurrences of each variable among uncovered terms.
+		counts := make(map[Var]int)
+		for i, t := range terms {
+			if covered[i] {
+				continue
+			}
+			for _, v := range t {
+				counts[v]++
+			}
+		}
+		// Pick the most frequent variable, breaking ties by smallest ID
+		// for determinism.
+		var best Var
+		bestCount := -1
+		vars := make([]Var, 0, len(counts))
+		for v := range counts {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+		for _, v := range vars {
+			if counts[v] > bestCount {
+				best, bestCount = v, counts[v]
+			}
+		}
+		cover = append(cover, best)
+		for i, t := range terms {
+			if !covered[i] && t.Contains(best) {
+				covered[i] = true
+				remaining--
+			}
+		}
+	}
+	return cover, true
+}
+
+// VarFrequencies counts, for every variable, the number of DNF terms it
+// occurs in across the expression set. The Greedy baseline probes variables
+// in decreasing frequency order.
+func VarFrequencies(exprs []Expr) map[Var]int {
+	counts := make(map[Var]int)
+	for _, e := range exprs {
+		for _, t := range e.terms {
+			for _, v := range t {
+				counts[v]++
+			}
+		}
+	}
+	return counts
+}

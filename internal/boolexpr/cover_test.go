@@ -1,0 +1,92 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGreedyCoverSkewed(t *testing.T) {
+	// Every term contains variable 0: cover of size 1.
+	terms := make([]Term, 20)
+	for i := range terms {
+		terms[i] = NewTerm(0, Var(i+1))
+	}
+	cover, ok := GreedyCover([]Expr{NewExpr(terms...)}, 50)
+	if !ok {
+		t.Fatal("cover not found")
+	}
+	if len(cover) != 1 || cover[0] != 0 {
+		t.Fatalf("cover = %v, want [0]", cover)
+	}
+}
+
+func TestGreedyCoverNonSkewed(t *testing.T) {
+	// Disjoint single-variable terms: cover size equals term count.
+	terms := make([]Term, 60)
+	for i := range terms {
+		terms[i] = NewTerm(Var(i))
+	}
+	_, ok := GreedyCover([]Expr{NewExpr(terms...)}, 50)
+	if ok {
+		t.Fatal("expected no cover within the size-50 limit")
+	}
+	cover, ok := GreedyCover([]Expr{NewExpr(terms...)}, 0)
+	if !ok || len(cover) != 60 {
+		t.Fatalf("unlimited cover: len=%d ok=%t, want 60", len(cover), ok)
+	}
+}
+
+func TestGreedyCoverIsACover(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		exprs := make([]Expr, 1+rng.Intn(4))
+		for i := range exprs {
+			exprs[i] = randomExpr(rng, 10, 6, 3)
+		}
+		cover, ok := GreedyCover(exprs, 0)
+		if !ok {
+			t.Fatal("unlimited cover must succeed")
+		}
+		inCover := make(map[Var]bool, len(cover))
+		for _, v := range cover {
+			inCover[v] = true
+		}
+		for _, e := range exprs {
+			if e.Decided() {
+				continue
+			}
+			for _, term := range e.Terms() {
+				hit := false
+				for _, v := range term {
+					if inCover[v] {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					t.Fatalf("term %v not covered by %v", term, cover)
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyCoverEmptyAndDecided(t *testing.T) {
+	cover, ok := GreedyCover(nil, 10)
+	if !ok || len(cover) != 0 {
+		t.Error("empty set should have empty cover")
+	}
+	cover, ok = GreedyCover([]Expr{True(), False()}, 10)
+	if !ok || len(cover) != 0 {
+		t.Error("decided expressions need no cover")
+	}
+}
+
+func TestVarFrequencies(t *testing.T) {
+	e1 := NewExpr(NewTerm(0, 1), NewTerm(0, 2))
+	e2 := NewExpr(NewTerm(1))
+	freq := VarFrequencies([]Expr{e1, e2})
+	if freq[0] != 2 || freq[1] != 2 || freq[2] != 1 {
+		t.Fatalf("frequencies = %v", freq)
+	}
+}

@@ -1,0 +1,52 @@
+package boolexpr
+
+import "math/rand"
+
+// Split partitions the terms of e into disjunctions of at most maxTerms
+// terms each, as in the paper's pre-processing step (Section 7.1): given
+// φ = ⋁ terms, produce φ1, φ2, ... with φ = φ1 ∨ φ2 ∨ ..., each small
+// enough that its CNF has at most O(maxTerms · k^maxTerms) clauses and the
+// Q-Value utility remains applicable.
+//
+// Term-to-part assignment is random (the paper: "the choice of terms is
+// done randomly") using rng; pass a seeded source for reproducibility, or
+// nil for a deterministic in-order split. Evaluating all parts determines
+// φ: it is True iff some part is True.
+//
+// If e already has at most maxTerms terms (or maxTerms <= 0), Split returns
+// e unchanged as the single part.
+func Split(e Expr, maxTerms int, rng *rand.Rand) []Expr {
+	if maxTerms <= 0 || len(e.terms) <= maxTerms {
+		return []Expr{e}
+	}
+	order := make([]int, len(e.terms))
+	for i := range order {
+		order[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	var parts []Expr
+	for start := 0; start < len(order); start += maxTerms {
+		end := start + maxTerms
+		if end > len(order) {
+			end = len(order)
+		}
+		chunk := make([]Term, 0, end-start)
+		for _, idx := range order[start:end] {
+			chunk = append(chunk, e.terms[idx])
+		}
+		parts = append(parts, canonicalize(chunk))
+	}
+	return parts
+}
+
+// Join recombines split parts back into a single canonical expression, the
+// inverse of Split (up to canonical ordering): the disjunction of all parts.
+func Join(parts []Expr) Expr {
+	var terms []Term
+	for _, p := range parts {
+		terms = append(terms, p.terms...)
+	}
+	return canonicalize(terms)
+}

@@ -1,0 +1,92 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitSmallExprUnchanged(t *testing.T) {
+	e := NewExpr(NewTerm(1, 2), NewTerm(3))
+	parts := Split(e, 5, nil)
+	if len(parts) != 1 || !parts[0].Equal(e) {
+		t.Fatalf("small expression should not be split: %v", parts)
+	}
+	parts = Split(e, 0, nil)
+	if len(parts) != 1 {
+		t.Fatal("maxTerms<=0 must mean no splitting")
+	}
+}
+
+func TestSplitSizes(t *testing.T) {
+	terms := make([]Term, 10)
+	for i := range terms {
+		terms[i] = NewTerm(Var(2*i), Var(2*i+1))
+	}
+	e := NewExpr(terms...)
+	parts := Split(e, 3, rand.New(rand.NewSource(5)))
+	if len(parts) != 4 { // ceil(10/3)
+		t.Fatalf("got %d parts, want 4", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		if p.NumTerms() > 3 {
+			t.Fatalf("part exceeds bound: %v", p)
+		}
+		total += p.NumTerms()
+	}
+	if total != 10 {
+		t.Fatalf("terms lost or duplicated: %d", total)
+	}
+}
+
+// Splitting soundness (DESIGN.md §6): the disjunction of the parts is
+// equivalent to the original expression under every valuation.
+func TestSplitJoinEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 8, 12, 3)
+		parts := Split(e, 1+r.Intn(4), r)
+		joined := Join(parts)
+		if !joined.Equal(e) {
+			return false
+		}
+		// Spot-check semantics too, for a handful of random valuations.
+		for i := 0; i < 16; i++ {
+			val := randomValuation(r, 8)
+			anyTrue := false
+			for _, p := range parts {
+				if p.Eval(val) {
+					anyTrue = true
+					break
+				}
+			}
+			if anyTrue != e.Eval(val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDeterministicWithoutRng(t *testing.T) {
+	terms := make([]Term, 7)
+	for i := range terms {
+		terms[i] = NewTerm(Var(i))
+	}
+	e := NewExpr(terms...)
+	a := Split(e, 2, nil)
+	b := Split(e, 2, nil)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic part count")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("nil-rng split must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package boolexpr implements monotone Boolean expressions in disjunctive
+// normal form (DNF), the provenance representation the paper computes for
+// SPJU queries (Section 2.3). Every input tuple of an uncertain database is
+// annotated with a Boolean variable; the provenance of each output tuple is
+// a monotone k-DNF over those variables, and resolving the query means
+// deciding the truth value of every provenance expression.
+//
+// The package provides the operations the resolution framework needs:
+// construction with absorption-based canonicalization, evaluation and
+// simplification under partial valuations (Step 3 of the framework),
+// bounded DNF-to-CNF conversion (required by the Q-Value utility),
+// expression splitting (Section 7.1 pre-processing), greedy cover-size
+// computation (the paper's skewness statistic, Table 3), and partitioning
+// of expression sets into variable-disjoint components (parallel probe
+// selection, Section 6).
+package boolexpr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Var identifies a Boolean variable. Variables are small dense integers
+// allocated by a Registry; the zero value is a valid variable ID, so code
+// that needs "no variable" should track validity separately.
+type Var int32
+
+// Registry interns variable names and allocates dense Var identifiers.
+// A Registry is not safe for concurrent mutation; resolution sessions
+// allocate all variables up front during provenance computation.
+type Registry struct {
+	names []string
+	index map[string]Var
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]Var)}
+}
+
+// Intern returns the variable for name, allocating it on first use.
+func (r *Registry) Intern(name string) Var {
+	if v, ok := r.index[name]; ok {
+		return v
+	}
+	v := Var(len(r.names))
+	r.names = append(r.names, name)
+	r.index[name] = v
+	return v
+}
+
+// Fresh allocates a new variable with an auto-generated name.
+func (r *Registry) Fresh() Var {
+	return r.Intern(fmt.Sprintf("x%d", len(r.names)))
+}
+
+// Name returns the interned name of v, or "x<n>" if v was never interned
+// through this registry.
+func (r *Registry) Name(v Var) string {
+	if int(v) < len(r.names) {
+		return r.names[v]
+	}
+	return fmt.Sprintf("x%d", int(v))
+}
+
+// Lookup returns the variable interned under name, if any.
+func (r *Registry) Lookup(name string) (Var, bool) {
+	v, ok := r.index[name]
+	return v, ok
+}
+
+// Len reports the number of interned variables.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Valuation is a partial truth assignment to variables. The zero value is
+// an empty valuation ready to use. In the framework a Valuation accumulates
+// oracle probe answers: assigned variables are resolved tuples, unassigned
+// variables are still uncertain.
+type Valuation struct {
+	m map[Var]bool
+}
+
+// NewValuation returns an empty partial valuation.
+func NewValuation() *Valuation {
+	return &Valuation{m: make(map[Var]bool)}
+}
+
+// Set assigns value to v, overwriting any previous assignment.
+func (val *Valuation) Set(v Var, value bool) {
+	if val.m == nil {
+		val.m = make(map[Var]bool)
+	}
+	val.m[v] = value
+}
+
+// Get reports the value assigned to v and whether v is assigned at all.
+func (val *Valuation) Get(v Var) (value, assigned bool) {
+	if val == nil || val.m == nil {
+		return false, false
+	}
+	value, assigned = val.m[v]
+	return value, assigned
+}
+
+// Assigned reports whether v has been assigned.
+func (val *Valuation) Assigned(v Var) bool {
+	_, ok := val.Get(v)
+	return ok
+}
+
+// Len reports how many variables are assigned.
+func (val *Valuation) Len() int {
+	if val == nil {
+		return 0
+	}
+	return len(val.m)
+}
+
+// Clone returns an independent copy of the valuation.
+func (val *Valuation) Clone() *Valuation {
+	out := &Valuation{m: make(map[Var]bool, val.Len())}
+	if val != nil {
+		for k, v := range val.m {
+			out.m[k] = v
+		}
+	}
+	return out
+}
+
+// Vars returns the assigned variables in ascending order.
+func (val *Valuation) Vars() []Var {
+	if val == nil {
+		return nil
+	}
+	out := make([]Var, 0, len(val.m))
+	for v := range val.m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// With returns a copy of the valuation extended with v=value. It implements
+// the paper's val_{x=True} / val_{x=False} notation without mutating the
+// receiver, which utility functions rely on when scoring hypothetical probes.
+func (val *Valuation) With(v Var, value bool) *Valuation {
+	out := val.Clone()
+	out.Set(v, value)
+	return out
+}

@@ -1,0 +1,156 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"qres/internal/datagen"
+	"qres/internal/engine"
+	"qres/internal/sqlparse"
+	"qres/internal/uncertain"
+)
+
+func TestNELLDeterministic(t *testing.T) {
+	a := datagen.NELL(datagen.NELLConfig{Athletes: 50, Seed: 1})
+	b := datagen.NELL(datagen.NELLConfig{Athletes: 50, Seed: 1})
+	if a.Data().TotalTuples() != b.Data().TotalTuples() {
+		t.Fatal("same seed must give same sizes")
+	}
+	if a.NumVars() != a.Data().TotalTuples() {
+		t.Fatal("one variable per tuple")
+	}
+	for _, name := range a.Data().Names() {
+		ra, _ := a.Data().Relation(name)
+		rb, _ := b.Data().Relation(name)
+		if ra.Len() != rb.Len() {
+			t.Fatalf("relation %s sizes differ", name)
+		}
+		for i := 0; i < ra.Len(); i++ {
+			if ra.At(i).Key() != rb.At(i).Key() {
+				t.Fatalf("relation %s tuple %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestNELLShape(t *testing.T) {
+	udb := datagen.NELL(datagen.NELLConfig{Athletes: 100, Seed: 2})
+	for _, name := range []string{
+		"athleteplaysforteam", "athleteplayssport", "athleteplaysinleague",
+		"teamplaysinleague", "generalizations",
+	} {
+		rel, ok := udb.Data().Relation(name)
+		if !ok {
+			t.Fatalf("missing relation %s", name)
+		}
+		if rel.Len() == 0 {
+			t.Fatalf("relation %s is empty", name)
+		}
+		// Every fact carries source/category/entity metadata.
+		meta := rel.MetaAt(0)
+		for _, attr := range []string{"source", "category", "entity"} {
+			if meta[attr] == "" {
+				t.Errorf("%s tuple 0 missing %s metadata", name, attr)
+			}
+		}
+	}
+	apt, _ := udb.Data().Relation("athleteplaysforteam")
+	if apt.Len() < 100 {
+		t.Errorf("athleteplaysforteam has %d facts, want >= athletes", apt.Len())
+	}
+}
+
+func TestNELLQueriesCompileAndRun(t *testing.T) {
+	udb := datagen.NELL(datagen.NELLConfig{Athletes: 80, Seed: 3})
+	for name, sql := range datagen.NELLQueries() {
+		t.Run(name, func(t *testing.T) {
+			res := mustRun(t, udb, sql)
+			if len(res.Rows) == 0 {
+				t.Fatalf("query %s returned no rows", name)
+			}
+			for _, row := range res.Rows {
+				if row.Prov.Decided() {
+					t.Fatalf("query %s produced constant provenance", name)
+				}
+			}
+		})
+	}
+}
+
+func TestTPCHDeterministicAndScaled(t *testing.T) {
+	a := datagen.TPCH(datagen.TPCHConfig{SF: 0.001, Seed: 4})
+	b := datagen.TPCH(datagen.TPCHConfig{SF: 0.001, Seed: 4})
+	if a.Data().TotalTuples() != b.Data().TotalTuples() {
+		t.Fatal("same seed must give same sizes")
+	}
+	big := datagen.TPCH(datagen.TPCHConfig{SF: 0.004, Seed: 4})
+	if big.Data().TotalTuples() <= a.Data().TotalTuples() {
+		t.Fatal("larger SF must give more tuples")
+	}
+	// All eight TPC-H relations exist.
+	for _, name := range []string{
+		"region", "nation", "supplier", "customer", "part", "partsupp",
+		"orders", "lineitem",
+	} {
+		if _, ok := a.Data().Relation(name); !ok {
+			t.Fatalf("missing relation %s", name)
+		}
+	}
+	region, _ := a.Data().Relation("region")
+	if region.Len() != 5 {
+		t.Errorf("regions = %d, want 5", region.Len())
+	}
+	nation, _ := a.Data().Relation("nation")
+	if nation.Len() != 25 {
+		t.Errorf("nations = %d, want 25", nation.Len())
+	}
+}
+
+func TestTPCHQueriesCompileAndRun(t *testing.T) {
+	udb := datagen.TPCH(datagen.TPCHConfig{SF: 0.002, Seed: 5})
+	queries := datagen.TPCHQueries()
+	if len(queries) != 10 {
+		t.Fatalf("expected 10 queries, got %d", len(queries))
+	}
+	for name, sql := range queries {
+		t.Run(name, func(t *testing.T) {
+			res := mustRun(t, udb, sql)
+			t.Logf("%s: %d output tuples, %d unique vars, term size %d",
+				name, len(res.Rows), len(res.UniqueVars()), res.MaxTermSize())
+			// Highly selective joins (Q2's part filters, Q7's specific
+			// nation pair) can be empty at tiny scale; everything else
+			// must have output.
+			if len(res.Rows) == 0 && name != "Q7" && name != "Q2" {
+				t.Errorf("query %s returned no rows", name)
+			}
+		})
+	}
+}
+
+// Term sizes follow the join arity by construction; Table 3 reports term
+// size 3 for Q3, 8 for Q8 and 4 for Q10.
+func TestTPCHTermSizes(t *testing.T) {
+	udb := datagen.TPCH(datagen.TPCHConfig{SF: 0.004, Seed: 6})
+	want := map[string]int{"Q3": 3, "Q8": 8, "Q10": 4}
+	for name, wantK := range want {
+		res := mustRun(t, udb, datagen.TPCHQueries()[name])
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s empty at this scale", name)
+		}
+		if got := res.MaxTermSize(); got != wantK {
+			t.Errorf("%s term size = %d, want %d", name, got, wantK)
+		}
+	}
+}
+
+func mustRun(t *testing.T, udb *uncertain.DB, sql string) *engine.Result {
+	t.Helper()
+	plan, err := sqlparse.ParseAndCompile(sql, udb.Data())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := engine.Run(udb, plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}

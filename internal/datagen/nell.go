@@ -1,0 +1,247 @@
+// Package datagen generates the two evaluation substrates of the paper's
+// Section 7 in synthetic form:
+//
+//   - a NELL-like knowledge base of entity-relation-value facts with
+//     source/category metadata (standing in for the 1.3M-fact labeled NELL
+//     subset, which is an external download), shaped so that the paper's
+//     hand-written queries exhibit the same provenance-skewness classes;
+//   - a TPC-H-like relational database at a configurable scale factor
+//     (standing in for dbgen SF1), with the aggregation-stripped SPJU
+//     versions of queries Q1–Q10.
+//
+// Both generators are fully deterministic in their seeds, so every
+// experiment in the repository is reproducible from a single seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qres/internal/table"
+	"qres/internal/uncertain"
+)
+
+// NELLConfig sizes the synthetic knowledge base.
+type NELLConfig struct {
+	// Athletes is the number of athlete entities (default 300). Facts
+	// scale linearly with it.
+	Athletes int
+	// Sports is the number of sport entities (default 12).
+	Sports int
+	// Leagues is the number of leagues (default 14).
+	Leagues int
+	// TeamsPerSport is the number of teams per sport (default 8).
+	TeamsPerSport int
+	// Sources is the size of the Web-source pool facts are attributed to
+	// (default 30).
+	Sources int
+	// Seed drives all generation.
+	Seed int64
+}
+
+func (c NELLConfig) withDefaults() NELLConfig {
+	if c.Athletes <= 0 {
+		c.Athletes = 300
+	}
+	if c.Sports <= 0 {
+		c.Sports = 12
+	}
+	if c.Leagues <= 0 {
+		c.Leagues = 14
+	}
+	if c.TeamsPerSport <= 0 {
+		c.TeamsPerSport = 8
+	}
+	if c.Sources <= 0 {
+		c.Sources = 30
+	}
+	return c
+}
+
+// DefaultNELLConfig returns the benchmark-scale configuration.
+func DefaultNELLConfig(seed int64) NELLConfig {
+	return NELLConfig{Seed: seed}.withDefaults()
+}
+
+// NELL generates the knowledge base and returns it as an uncertain
+// database. Relations (mirroring NELL's predicate naming used by the
+// paper's Figure 4 query):
+//
+//	athleteplaysforteam(athlete, team)
+//	athleteplayssport(athlete, sport)
+//	athleteplaysinleague(athlete, league)
+//	teamplaysinleague(team, league)
+//	generalizations(entity, value)
+//
+// Every fact carries metadata: source (a Web-source pool with a Zipf-like
+// skew toward a few large sources), category, and the entity/value content
+// attributes the paper's Section 7.4 found most informative.
+func NELL(cfg NELLConfig) *uncertain.DB {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sources := make([]string, cfg.Sources)
+	for i := range sources {
+		sources[i] = fmt.Sprintf("web-%02d.example.com", i)
+	}
+	// Zipf-ish source picker: a few sources contribute most facts, like
+	// real Web extraction.
+	pickSource := func() string {
+		// P(source i) ∝ 1/(i+1), sampled by rejection-free inversion over
+		// precomputed cumulative weights would be cleaner, but a squared
+		// uniform gives the same heavy-head shape cheaply.
+		i := int(float64(len(sources)) * rng.Float64() * rng.Float64())
+		if i >= len(sources) {
+			i = len(sources) - 1
+		}
+		return sources[i]
+	}
+
+	sports := make([]string, cfg.Sports)
+	for i := range sports {
+		sports[i] = fmt.Sprintf("sport_%s", nameFor(i, sportNames))
+	}
+	leagues := make([]string, cfg.Leagues)
+	for i := range leagues {
+		leagues[i] = fmt.Sprintf("league_%s", nameFor(i, leagueNames))
+	}
+	var teams []string
+	teamSport := make(map[string]string)
+	teamLeague := make(map[string]string)
+	for si, sport := range sports {
+		for t := 0; t < cfg.TeamsPerSport; t++ {
+			team := fmt.Sprintf("team_%s_%d", nameFor(si*cfg.TeamsPerSport+t, teamNames), t)
+			teams = append(teams, team)
+			teamSport[team] = sport
+			// Each sport maps to 1–2 leagues; teams inherit one.
+			teamLeague[team] = leagues[(si*2+t%2)%len(leagues)]
+		}
+	}
+
+	db := table.NewDatabase()
+	strCol := func(name string) table.Column { return table.Column{Name: name, Kind: table.KindString} }
+
+	apt := table.NewRelation("athleteplaysforteam", table.NewSchema(strCol("athlete"), strCol("team")))
+	aps := table.NewRelation("athleteplayssport", table.NewSchema(strCol("athlete"), strCol("sport")))
+	apl := table.NewRelation("athleteplaysinleague", table.NewSchema(strCol("athlete"), strCol("league")))
+	tpl := table.NewRelation("teamplaysinleague", table.NewSchema(strCol("team"), strCol("league")))
+	gen := table.NewRelation("generalizations", table.NewSchema(strCol("entity"), strCol("value")))
+
+	addFact := func(rel *table.Relation, category string, values ...string) {
+		tup := make(table.Tuple, len(values))
+		for i, v := range values {
+			tup[i] = table.String_(v)
+		}
+		rel.MustAppend(tup, table.Metadata{
+			"source":   pickSource(),
+			"category": category,
+			"entity":   values[0],
+			"value":    values[len(values)-1],
+		})
+	}
+
+	for a := 0; a < cfg.Athletes; a++ {
+		athlete := fmt.Sprintf("athlete_%s_%d", nameFor(a, athleteNames), a)
+		team := teams[rng.Intn(len(teams))]
+		sport := teamSport[team]
+		league := teamLeague[team]
+
+		addFact(apt, "athlete", athlete, team)
+		// Some athletes have a second (often spurious) team fact, the
+		// kind of extraction noise NELL exhibits.
+		if rng.Float64() < 0.25 {
+			addFact(apt, "athlete", athlete, teams[rng.Intn(len(teams))])
+		}
+		addFact(aps, "athlete", athlete, sport)
+		addFact(apl, "athlete", athlete, league)
+		if rng.Float64() < 0.15 {
+			addFact(apl, "athlete", athlete, leagues[rng.Intn(len(leagues))])
+		}
+	}
+	for _, team := range teams {
+		addFact(tpl, "team", team, teamLeague[team])
+	}
+	// generalizations: each sport is declared a sport (and occasionally a
+	// hobby), plus unrelated noise entities. These facts are the
+	// skew-inducing hubs of query MS1: one generalization fact occurs in
+	// the provenance term of every output derived from its sport.
+	for _, sport := range sports {
+		addFact(gen, "concept", sport, "sport")
+		if rng.Float64() < 0.3 {
+			addFact(gen, "concept", sport, "hobby")
+		}
+	}
+	for i := 0; i < cfg.Sports*3; i++ {
+		addFact(gen, "concept", fmt.Sprintf("thing_%d", i), "object")
+	}
+
+	for _, rel := range []*table.Relation{apt, aps, apl, tpl, gen} {
+		db.MustAdd(rel)
+	}
+	return uncertain.New(db)
+}
+
+// NELLQueries returns the hand-written NELL query workload by name,
+// mirroring the paper's skewness naming: S* skewed, MS* moderately skewed,
+// NS* non-skewed. MS1 is the paper's Figure 4 verbatim.
+func NELLQueries() map[string]string {
+	return map[string]string{
+		// Figure 4: teams with their corresponding sport and league.
+		"MS1": `
+			SELECT DISTINCT a.team, b.sport, c.league
+			FROM athleteplaysforteam as a, athleteplayssport as b,
+			     athleteplaysinleague as c, generalizations as d
+			WHERE a.athlete = b.athlete AND a.athlete = c.athlete AND
+			      d.entity = b.sport AND
+			      (d.value LIKE '%sport%' or d.value LIKE '%hobby%')`,
+		// Sport-league combinations: outputs aggregate many athletes, so
+		// a moderate set of sport/league facts covers the provenance.
+		"MS2": `
+			SELECT DISTINCT b.sport, c.league
+			FROM athleteplayssport as b, athleteplaysinleague as c
+			WHERE b.athlete = c.athlete`,
+		// Teams of one league: the single league's membership facts are
+		// hubs occurring across all terms — skewed.
+		"S1": `
+			SELECT DISTINCT a.team
+			FROM athleteplaysforteam as a, teamplaysinleague as t
+			WHERE a.team = t.team AND t.league LIKE 'league_alpha%'`,
+		// Athlete roster: each output tuple depends only on that
+		// athlete's own facts — non-skewed, near-read-once provenance.
+		"NS1": `
+			SELECT DISTINCT a.athlete
+			FROM athleteplaysforteam as a`,
+	}
+}
+
+// nameFor deterministically picks a base name, cycling with a numeric
+// suffix beyond the pool.
+func nameFor(i int, pool []string) string {
+	base := pool[i%len(pool)]
+	if i < len(pool) {
+		return base
+	}
+	return fmt.Sprintf("%s%d", base, i/len(pool))
+}
+
+var athleteNames = []string{
+	"garnett", "ramos", "sato", "okafor", "novak", "silva", "khan", "moreau",
+	"petrov", "yamada", "costa", "ali", "berg", "tanaka", "ortiz", "weber",
+	"lind", "fischer", "rossi", "dubois", "kim", "chen", "olsen", "haddad",
+}
+
+var sportNames = []string{
+	"basketball", "soccer", "tennis", "hockey", "baseball", "rugby",
+	"cricket", "volleyball", "handball", "golf", "cycling", "rowing",
+}
+
+var leagueNames = []string{
+	"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+	"iota", "kappa", "lambda", "mu", "nu", "xi",
+}
+
+var teamNames = []string{
+	"falcons", "tigers", "sharks", "wolves", "eagles", "bears", "lions",
+	"hawks", "bulls", "rams", "foxes", "owls", "pumas", "orcas", "vipers",
+	"ravens", "stags", "colts", "herons", "lynx",
+}

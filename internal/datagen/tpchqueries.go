@@ -1,0 +1,113 @@
+package datagen
+
+// TPCHQueries returns the aggregation-stripped SPJU versions of TPC-H
+// Q1–Q10 used throughout the paper's evaluation (Section 7.1: "we retained
+// queries Q1–Q10, which are without nesting or negation; we stripped out
+// aggregation — GROUP BY without aggregation is equivalent to
+// projection"). Where the original query nests or aggregates, the SPJU
+// core (its join structure and selections) is kept and the output is the
+// DISTINCT projection of the former grouping columns.
+//
+// The provenance classes these induce match the paper's classification:
+// Q1/Q3/Q4/Q6 non-skewed, Q5/Q7/Q8 skewed, Q9/Q10 moderately skewed, and
+// Q1/Q6 are SP queries with read-once (disjunction) provenance.
+func TPCHQueries() map[string]string {
+	return map[string]string{
+		// Q1: pricing summary → DISTINCT flag/status combinations.
+		"Q1": `
+			SELECT DISTINCT l_returnflag, l_linestatus
+			FROM lineitem
+			WHERE l_shipdate <= 1998.09.02`,
+
+		// Q2: minimum-cost supplier core (the nested min() is stripped).
+		"Q2": `
+			SELECT DISTINCT s.s_name, p.p_partkey
+			FROM part AS p, partsupp AS ps, supplier AS s, nation AS n, region AS r
+			WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+			  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+			  AND r.r_name = 'EUROPE' AND p.p_size >= 15 AND p.p_type LIKE '%BRASS'`,
+
+		// Q3: shipping priority.
+		"Q3": `
+			SELECT DISTINCT l.l_orderkey, o.o_orderdate, o.o_shippriority
+			FROM customer AS c, orders AS o, lineitem AS l
+			WHERE c.c_mktsegment = 'BUILDING'
+			  AND c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+			  AND o.o_orderdate < 1995.03.15 AND l.l_shipdate > 1995.03.15`,
+
+		// Q4: order-priority checking (EXISTS flattened to a join).
+		"Q4": `
+			SELECT DISTINCT o.o_orderpriority, o.o_orderkey
+			FROM orders AS o, lineitem AS l
+			WHERE o.o_orderkey = l.l_orderkey
+			  AND o.o_orderdate >= 1993.07.01 AND o.o_orderdate < 1993.10.01
+			  AND l.l_commitdate < l.l_receiptdate`,
+
+		// Q5: local supplier volume: DISTINCT nations of one region. Few
+		// output tuples, each with a very large DNF — the paper's
+		// splitting stress case (Figure 8).
+		"Q5": `
+			SELECT DISTINCT n.n_name
+			FROM customer AS c, orders AS o, lineitem AS l, supplier AS s,
+			     nation AS n, region AS r
+			WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+			  AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+			  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+			  AND r.r_name = 'ASIA'
+			  AND o.o_orderdate >= 1994.01.01 AND o.o_orderdate < 1997.01.01`,
+
+		// Q6: forecasting revenue-change core (SP, read-once provenance).
+		"Q6": `
+			SELECT DISTINCT l_orderkey
+			FROM lineitem
+			WHERE l_shipdate >= 1994.01.01 AND l_shipdate < 1995.01.01
+			  AND l_discount >= 0.05 AND l_discount <= 0.07 AND l_quantity < 24`,
+
+		// Q7: volume shipping between two nations — the nation tuples hub
+		// every term (skewed).
+		"Q7": `
+			SELECT DISTINCT n1.n_name, n2.n_name, year(l.l_shipdate)
+			FROM supplier AS s, lineitem AS l, orders AS o, customer AS c,
+			     nation AS n1, nation AS n2
+			WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+			  AND c.c_custkey = o.o_custkey AND s.s_nationkey = n1.n_nationkey
+			  AND c.c_nationkey = n2.n_nationkey
+			  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+			    OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+			  AND l.l_shipdate >= 1995.01.01 AND l.l_shipdate <= 1996.12.31`,
+
+		// Q8: national market share — the paper's running representative
+		// (Table 3: 8-way join, term size 8, cover size 6).
+		"Q8": `
+			SELECT DISTINCT year(o.o_orderdate), n2.n_name
+			FROM part AS p, supplier AS s, lineitem AS l, orders AS o,
+			     customer AS c, nation AS n1, nation AS n2, region AS r
+			WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+			  AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+			  AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey
+			  AND s.s_nationkey = n2.n_nationkey
+			  AND r.r_name = 'AMERICA'
+			  AND o.o_orderdate >= 1995.01.01 AND o.o_orderdate <= 1996.12.31
+			  AND p.p_type LIKE 'ECONOMY%'`,
+
+		// Q9: product-type profit measure over green parts (moderately
+		// skewed: outputs aggregate per nation × year).
+		"Q9": `
+			SELECT DISTINCT n.n_name, year(o.o_orderdate)
+			FROM part AS p, supplier AS s, lineitem AS l, partsupp AS ps,
+			     orders AS o, nation AS n
+			WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+			  AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+			  AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+			  AND p.p_name LIKE '%green%'`,
+
+		// Q10: returned-item reporting (moderately skewed: the 25 nation
+		// tuples cover the provenance, matching the paper's cover 25).
+		"Q10": `
+			SELECT DISTINCT c.c_custkey, c.c_name, n.n_name
+			FROM customer AS c, orders AS o, lineitem AS l, nation AS n
+			WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+			  AND o.o_orderdate >= 1993.10.01 AND o.o_orderdate < 1994.01.01
+			  AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey`,
+	}
+}

@@ -1,0 +1,419 @@
+package engine_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qres/internal/boolexpr"
+	"qres/internal/engine"
+	"qres/internal/table"
+	"qres/internal/testdb"
+	"qres/internal/uncertain"
+)
+
+// TestPaperTable2Provenance reproduces the paper's Table 2 exactly: the
+// four output tuples of the Figure 2 query over the Table 1 database, with
+// their provenance expressions.
+func TestPaperTable2Provenance(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	res, err := engine.Run(udb, testdb.PaperQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d output tuples, want 4", len(res.Rows))
+	}
+
+	v := func(rel string, i int) boolexpr.Var {
+		vv, ok := udb.VarFor(rel, i)
+		if !ok {
+			t.Fatalf("VarFor(%s,%d) failed", rel, i)
+		}
+		return vv
+	}
+	a0, a1 := v("Acquisitions", 0), v("Acquisitions", 1)
+	r0, r1, r2, r3, r4 := v("Roles", 0), v("Roles", 1), v("Roles", 2), v("Roles", 3), v("Roles", 4)
+	e0, e1, e2, e3, e4 := v("Education", 0), v("Education", 1), v("Education", 2), v("Education", 3), v("Education", 4)
+
+	want := map[string]boolexpr.Expr{
+		"A2Bdone|U. Melbourne": boolexpr.NewExpr(
+			boolexpr.NewTerm(a0, r0, e0), boolexpr.NewTerm(a0, r1, e1), boolexpr.NewTerm(a0, r2, e3)),
+		"A2Bdone|U. Sau Paolo":   boolexpr.NewExpr(boolexpr.NewTerm(a0, r2, e2)),
+		"microBarg|U. Melbourne": boolexpr.NewExpr(boolexpr.NewTerm(a1, r3, e3)),
+		"microBarg|U. Sau Paolo": boolexpr.NewExpr(
+			boolexpr.NewTerm(a1, r3, e2), boolexpr.NewTerm(a1, r4, e4)),
+	}
+
+	got := make(map[string]boolexpr.Expr)
+	for _, row := range res.Rows {
+		key := row.Tuple[0].AsString() + "|" + row.Tuple[1].AsString()
+		got[key] = row.Prov
+	}
+	for key, wexp := range want {
+		gexp, ok := got[key]
+		if !ok {
+			t.Errorf("missing output tuple %q", key)
+			continue
+		}
+		if !gexp.Equal(wexp) {
+			t.Errorf("%q: provenance = %v, want %v",
+				key, gexp.Format(udb.Registry()), wexp.Format(udb.Registry()))
+		}
+	}
+	if res.MaxTermSize() != 3 {
+		t.Errorf("MaxTermSize = %d, want 3 (3-DNF)", res.MaxTermSize())
+	}
+	if n := len(res.UniqueVars()); n != 12 { // a0,a1 + r0..r4 + e0..e4
+		t.Errorf("UniqueVars = %d, want 12", n)
+	}
+}
+
+// Example 2.3: a0 = a1 = False must falsify all four expressions, and
+// a0 = r0 = e0 = True must verify the first output tuple.
+func TestPaperExample23(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	res, err := engine.Run(udb, testdb.PaperQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, _ := udb.VarFor("Acquisitions", 0)
+	a1, _ := udb.VarFor("Acquisitions", 1)
+
+	val := boolexpr.NewValuation()
+	val.Set(a0, false)
+	val.Set(a1, false)
+	for _, row := range res.Rows {
+		if !row.Prov.Simplify(val).IsFalse() {
+			t.Errorf("a0=a1=False should falsify %v", row.Prov.Format(udb.Registry()))
+		}
+	}
+
+	r0, _ := udb.VarFor("Roles", 0)
+	e0, _ := udb.VarFor("Education", 0)
+	val2 := boolexpr.NewValuation()
+	val2.Set(a0, true)
+	val2.Set(r0, true)
+	val2.Set(e0, true)
+	verified := 0
+	for _, row := range res.Rows {
+		if row.Prov.Simplify(val2).IsTrue() {
+			verified++
+		}
+	}
+	if verified != 1 {
+		t.Errorf("a0=r0=e0=True should verify exactly the first tuple, got %d", verified)
+	}
+}
+
+// The fundamental provenance property (paper Section 2.3): for any
+// valuation val, Q(D_val) = { t in Q(D) : val satisfies prov(t) }.
+func TestProvenanceSemanticsProperty(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	plan := testdb.PaperQuery()
+	res, err := engine.Run(udb, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		val := boolexpr.NewValuation()
+		for _, v := range udb.AllVars() {
+			val.Set(v, rng.Intn(2) == 0)
+		}
+		world := udb.PossibleWorld(val)
+		truth, err := engine.RunWorld(world, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every annotated row's expression must agree with membership in
+		// the world's answer.
+		fromProv := make(map[string]bool)
+		for _, row := range res.Rows {
+			if row.Prov.Eval(val) {
+				fromProv[row.Tuple.Key()] = true
+			}
+		}
+		if len(fromProv) != len(truth) {
+			t.Fatalf("trial %d: provenance says %d answers, world says %d", trial, len(fromProv), len(truth))
+		}
+		for key := range truth {
+			if !fromProv[key] {
+				t.Fatalf("trial %d: tuple in world answer but provenance false", trial)
+			}
+		}
+	}
+}
+
+func newTestDB(t *testing.T, relations map[string][][]table.Value, schemas map[string]*table.Schema) *uncertain.DB {
+	t.Helper()
+	db := table.NewDatabase()
+	for name, schema := range schemas {
+		rel := table.NewRelation(name, schema)
+		for _, row := range relations[name] {
+			rel.MustAppend(table.Tuple(row), nil)
+		}
+		db.MustAdd(rel)
+	}
+	return uncertain.New(db)
+}
+
+func TestScanUnknownRelation(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	if _, err := engine.Run(udb, engine.Scan("missing", "m")); err == nil {
+		t.Fatal("scan of unknown relation should fail")
+	}
+}
+
+func TestSelectPredicates(t *testing.T) {
+	udb := newTestDB(t,
+		map[string][][]table.Value{
+			"r": {
+				{table.Int(1), table.String_("alpha")},
+				{table.Int(2), table.String_("beta")},
+				{table.Int(3), table.Null()},
+			},
+		},
+		map[string]*table.Schema{
+			"r": table.NewSchema(
+				table.Column{Name: "id", Kind: table.KindInt},
+				table.Column{Name: "name", Kind: table.KindString},
+			),
+		})
+
+	cases := []struct {
+		name string
+		pred engine.Predicate
+		want int
+	}{
+		{"eq", engine.Cmp(engine.Col("", "id"), engine.OpEq, engine.Const(table.Int(2))), 1},
+		{"ne", engine.Cmp(engine.Col("", "id"), engine.OpNe, engine.Const(table.Int(2))), 2},
+		{"lt", engine.Cmp(engine.Col("", "id"), engine.OpLt, engine.Const(table.Int(3))), 2},
+		{"ge", engine.Cmp(engine.Col("", "id"), engine.OpGe, engine.Const(table.Int(2))), 2},
+		{"like", engine.Like(engine.Col("", "name"), "%a"), 2}, // alpha, beta; NULL never matches
+		{"in", engine.In(engine.Col("", "id"), table.Int(1), table.Int(3)), 2},
+		{"notnull", engine.IsNotNull(engine.Col("", "name")), 2},
+		{"not", engine.Not(engine.Cmp(engine.Col("", "id"), engine.OpEq, engine.Const(table.Int(1)))), 2},
+		{"and-empty", engine.And(), 3},
+		{"or-empty", engine.Or(), 0},
+		{"or", engine.Or(
+			engine.Cmp(engine.Col("", "id"), engine.OpEq, engine.Const(table.Int(1))),
+			engine.Cmp(engine.Col("", "id"), engine.OpEq, engine.Const(table.Int(3))),
+		), 2},
+		// NULL comparisons never match, even negated.
+		{"null-cmp", engine.Cmp(engine.Col("", "name"), engine.OpNe, engine.Const(table.String_("zzz"))), 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := engine.Run(udb, engine.Select(engine.Scan("r", ""), c.pred))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != c.want {
+				t.Fatalf("got %d rows, want %d", len(res.Rows), c.want)
+			}
+		})
+	}
+}
+
+func TestPredicateBindErrors(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	base := engine.Scan("Acquisitions", "a")
+	bad := []engine.Node{
+		// Unknown column.
+		engine.Select(base, engine.Cmp(engine.Col("a", "nope"), engine.OpEq, engine.Const(table.Int(1)))),
+		// Kind mismatch string vs int.
+		engine.Select(base, engine.Cmp(engine.Col("a", "Acquired"), engine.OpLt, engine.Const(table.Int(1)))),
+		// LIKE on a date.
+		engine.Select(base, engine.Like(engine.Col("a", "Date"), "%x%")),
+		// year() of a string.
+		engine.Select(base, engine.Cmp(engine.Year(engine.Col("a", "Acquired")), engine.OpEq, engine.Const(table.Int(2020)))),
+		// Ambiguous unqualified reference across a self-join.
+		engine.Select(
+			engine.Join(engine.Scan("Acquisitions", "x"), engine.Scan("Acquisitions", "y"),
+				engine.Cmp(engine.Col("x", "Acquired"), engine.OpEq, engine.Col("y", "Acquiring"))),
+			engine.Cmp(engine.Col("", "Date"), engine.OpGe, engine.Const(table.Date(2017, 1, 1)))),
+	}
+	for i, plan := range bad {
+		if _, err := engine.Run(udb, plan); err == nil {
+			t.Errorf("plan %d: expected bind error", i)
+		}
+	}
+}
+
+func TestJoinHashAndThetaAgree(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	// Equi-join (hash path).
+	hash := engine.Join(
+		engine.Scan("Acquisitions", "a"), engine.Scan("Roles", "r"),
+		engine.Cmp(engine.Col("a", "Acquired"), engine.OpEq, engine.Col("r", "Organization")))
+	// The same join forced through the theta path by wrapping the
+	// condition so the equi-extractor cannot see a bare col=col.
+	theta := engine.Join(
+		engine.Scan("Acquisitions", "a"), engine.Scan("Roles", "r"),
+		engine.Not(engine.Cmp(engine.Col("a", "Acquired"), engine.OpNe, engine.Col("r", "Organization"))))
+
+	rh, err := engine.Run(udb, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := engine.Run(udb, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rh.Rows) != len(rt.Rows) {
+		t.Fatalf("hash join %d rows, theta join %d rows", len(rh.Rows), len(rt.Rows))
+	}
+	keys := func(rows []engine.Row) map[string]string {
+		m := make(map[string]string)
+		for _, r := range rows {
+			m[r.Tuple.Key()] = r.Prov.String()
+		}
+		return m
+	}
+	kh, kt := keys(rh.Rows), keys(rt.Rows)
+	for k, p := range kh {
+		if kt[k] != p {
+			t.Fatalf("provenance mismatch between join paths: %q vs %q", p, kt[k])
+		}
+	}
+}
+
+func TestJoinMixedResidual(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	// Equality plus an inequality residual in one condition.
+	plan := engine.Join(
+		engine.Scan("Acquisitions", "a"), engine.Scan("Roles", "r"),
+		engine.And(
+			engine.Cmp(engine.Col("a", "Acquired"), engine.OpEq, engine.Col("r", "Organization")),
+			engine.Like(engine.Col("r", "Role"), "%found%"),
+		))
+	res, err := engine.Run(udb, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A2Bdone matches roles 0,1,2; microBarg matches roles 3,4 (CTO
+	// filtered out by the residual LIKE).
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+	// Join provenance is the conjunction of the inputs' variables.
+	for _, row := range res.Rows {
+		if row.Prov.NumTerms() != 1 || len(row.Prov.Terms()[0]) != 2 {
+			t.Fatalf("join provenance should be a 2-variable conjunction, got %v", row.Prov)
+		}
+	}
+}
+
+func TestProjectWithoutDistinctKeepsDuplicates(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	plan := engine.Project(engine.Scan("Roles", "r"), false, engine.Col("r", "Organization"))
+	res, err := engine.Run(udb, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("bag projection: got %d rows, want 6", len(res.Rows))
+	}
+
+	distinct := engine.Project(engine.Scan("Roles", "r"), true, engine.Col("r", "Organization"))
+	res2, err := engine.Run(udb, distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 2 {
+		t.Fatalf("distinct projection: got %d rows, want 2", len(res2.Rows))
+	}
+	// Merged provenance: disjunction of the three A2Bdone role variables.
+	for _, row := range res2.Rows {
+		if row.Tuple[0].AsString() == "A2Bdone" && row.Prov.NumTerms() != 3 {
+			t.Fatalf("A2Bdone provenance = %v, want 3 single-var terms", row.Prov)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	left := engine.Project(engine.Scan("Roles", "r"), true, engine.Col("r", "Member"))
+	right := engine.Project(engine.Scan("Education", "e"), true, engine.Col("e", "Alumni"))
+	res, err := engine.Run(udb, engine.Union(left, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five distinct people on each side (Nana Alvi repeats), fully
+	// overlapping.
+	if len(res.Rows) != 5 {
+		t.Fatalf("union: got %d rows, want 5", len(res.Rows))
+	}
+	// Overlapping rows' provenance is the disjunction across branches:
+	// Nana Alvi appears in two Roles tuples and two Education tuples.
+	for _, row := range res.Rows {
+		if row.Tuple[0].AsString() == "Nana Alvi" {
+			if row.Prov.NumTerms() != 4 {
+				t.Fatalf("Nana Alvi provenance = %v, want 4 terms", row.Prov)
+			}
+		}
+	}
+	// Column names come from the first input.
+	if res.Columns[0].Name != "Member" {
+		t.Errorf("union column name = %q", res.Columns[0].Name)
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	if _, err := engine.Run(udb, engine.Union()); err == nil {
+		t.Error("empty union should fail")
+	}
+	// Arity mismatch.
+	bad := engine.Union(
+		engine.Project(engine.Scan("Roles", "r"), true, engine.Col("r", "Member")),
+		engine.Project(engine.Scan("Roles", "r"), true, engine.Col("r", "Member"), engine.Col("r", "Role")),
+	)
+	if _, err := engine.Run(udb, bad); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Kind mismatch string vs int.
+	bad2 := engine.Union(
+		engine.Project(engine.Scan("Roles", "r"), true, engine.Col("r", "Member")),
+		engine.Project(engine.Scan("Education", "e"), true, engine.Col("e", "Year")),
+	)
+	if _, err := engine.Run(udb, bad2); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+}
+
+func TestSelfJoinQualifiers(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	// Companies that acquired a company that itself acquired something:
+	// x.Acquiring = y.Acquired. microBarg acquired Optobest and was
+	// acquired by Fiffer → one match.
+	plan := engine.Project(
+		engine.Join(engine.Scan("Acquisitions", "x"), engine.Scan("Acquisitions", "y"),
+			engine.Cmp(engine.Col("x", "Acquired"), engine.OpEq, engine.Col("y", "Acquiring"))),
+		true, engine.Col("x", "Acquiring"), engine.Col("x", "Acquired"))
+	res, err := engine.Run(udb, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	}
+	if got := res.Rows[0].Tuple[0].AsString(); got != "Fiffer" {
+		t.Errorf("acquirer = %q, want Fiffer", got)
+	}
+	// Self-join provenance: conjunction of two distinct variables.
+	if row := res.Rows[0]; row.Prov.NumTerms() != 1 || len(row.Prov.Terms()[0]) != 2 {
+		t.Errorf("provenance = %v", res.Rows[0].Prov)
+	}
+}
+
+func TestPlanStrings(t *testing.T) {
+	plan := testdb.PaperQuery()
+	s := plan.String()
+	for _, want := range []string{"Project(DISTINCT", "Join", "Scan(Acquisitions AS a)", "LIKE '%found%'"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string missing %q: %s", want, s)
+		}
+	}
+}

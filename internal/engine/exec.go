@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"qres/internal/boolexpr"
+	"qres/internal/table"
+	"qres/internal/uncertain"
+)
+
+// Result is a materialized annotated query answer Q(D̄): the output schema,
+// and one Row per output tuple carrying its provenance expression. The set
+// of provenance expressions is the paper's Φ(Q, D̄).
+type Result struct {
+	Columns []OutCol
+	Rows    []Row
+}
+
+// Provenance returns the provenance expression set Φ, aligned with Rows.
+func (r *Result) Provenance() []boolexpr.Expr {
+	out := make([]boolexpr.Expr, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.Prov
+	}
+	return out
+}
+
+// UniqueVars returns the distinct variables occurring in the result's
+// provenance, in ascending order — the candidate probes of the resolution
+// problem, and the "# Unique variables" statistic of the paper's Table 3.
+func (r *Result) UniqueVars() []boolexpr.Var {
+	seen := make(map[boolexpr.Var]struct{})
+	for _, row := range r.Rows {
+		for _, v := range row.Prov.Vars() {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]boolexpr.Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxTermSize returns the k of the k-DNF provenance: the largest term size
+// across all rows (the "Term Size" statistic of Table 3).
+func (r *Result) MaxTermSize() int {
+	k := 0
+	for _, row := range r.Rows {
+		if s := row.Prov.MaxTermSize(); s > k {
+			k = s
+		}
+	}
+	return k
+}
+
+// Header renders the column names, comma-separated.
+func (r *Result) Header() string {
+	parts := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// uncertainSource adapts an uncertain database: the provenance of a tuple
+// is its Boolean variable.
+type uncertainSource struct{ db *uncertain.DB }
+
+func (s uncertainSource) Relation(name string) (*table.Relation, bool) {
+	return s.db.Data().Relation(name)
+}
+
+func (s uncertainSource) Prov(relation string, idx int) boolexpr.Expr {
+	v, ok := s.db.VarFor(relation, idx)
+	if !ok {
+		return boolexpr.False()
+	}
+	return boolexpr.Lit(v)
+}
+
+// worldSource adapts a plain relational database (a possible world): every
+// tuple is certainly present, so its provenance is the constant True.
+type worldSource struct{ db *table.Database }
+
+func (s worldSource) Relation(name string) (*table.Relation, bool) {
+	return s.db.Relation(name)
+}
+
+func (s worldSource) Prov(string, int) boolexpr.Expr { return boolexpr.True() }
+
+// Run evaluates plan over the uncertain database with provenance tracking
+// (Step 2 of the framework). Each output row's expression is True under a
+// valuation iff the row belongs to the query answer on that possible world.
+func Run(db *uncertain.DB, plan Node) (*Result, error) {
+	schema, rows, err := plan.exec(uncertainSource{db})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: schema, Rows: rows}, nil
+}
+
+// RunWorld evaluates plan over a plain database under standard set
+// semantics and returns the set of output tuple keys. Experiments use it to
+// compute the ground-truth answer Q(D_val*) independently of provenance,
+// which is how the resolution-correctness invariant is checked end to end.
+func RunWorld(db *table.Database, plan Node) (map[string]table.Tuple, error) {
+	_, rows, err := plan.exec(worldSource{db})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]table.Tuple, len(rows))
+	for _, r := range rows {
+		out[r.Tuple.Key()] = r.Tuple
+	}
+	return out, nil
+}

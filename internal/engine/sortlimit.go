@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qres/internal/table"
+)
+
+// SortKey orders output rows by one scalar.
+type SortKey struct {
+	By   Scalar
+	Desc bool
+}
+
+// Sort orders the input's rows by the given keys (stable; NULLs first
+// ascending). Ordering does not affect provenance — it only fixes the row
+// order that a subsequent Limit truncates, which is how the paper's
+// Figure 6 subsets results ("the use of a LIMIT operator over a random
+// ordering of the output").
+func Sort(input Node, keys ...SortKey) Node { return &sortNode{input, keys} }
+
+type sortNode struct {
+	input Node
+	keys  []SortKey
+}
+
+func (n *sortNode) exec(src Source) (outSchema, []Row, error) {
+	schema, rows, err := n.input.exec(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	evals := make([]func(table.Tuple) table.Value, len(n.keys))
+	for i, k := range n.keys {
+		f, _, err := k.By.bind(schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		evals[i] = f
+	}
+	out := append([]Row(nil), rows...)
+	sort.SliceStable(out, func(a, b int) bool {
+		for i, k := range n.keys {
+			va, vb := evals[i](out[a].Tuple), evals[i](out[b].Tuple)
+			c, err := table.Compare(va, vb)
+			if err != nil || c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return schema, out, nil
+}
+
+func (n *sortNode) String() string {
+	parts := make([]string, len(n.keys))
+	for i, k := range n.keys {
+		dir := ""
+		if k.Desc {
+			dir = " DESC"
+		}
+		parts[i] = k.By.String() + dir
+	}
+	return fmt.Sprintf("Sort(%s)[%s]", strings.Join(parts, ", "), n.input)
+}
+
+// Limit keeps the first n rows of the input. Combined with Sort it
+// implements ORDER BY ... LIMIT; on its own it truncates in the input's
+// deterministic order. Limiting shrinks the resolution problem: dropped
+// rows' provenance never has to be decided.
+func Limit(input Node, n int) Node { return &limitNode{input, n} }
+
+type limitNode struct {
+	input Node
+	n     int
+}
+
+func (l *limitNode) exec(src Source) (outSchema, []Row, error) {
+	schema, rows, err := l.input.exec(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if l.n >= 0 && len(rows) > l.n {
+		rows = rows[:l.n]
+	}
+	return schema, rows, nil
+}
+
+func (l *limitNode) String() string {
+	return fmt.Sprintf("Limit(%d)[%s]", l.n, l.input)
+}

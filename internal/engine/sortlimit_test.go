@@ -1,0 +1,96 @@
+package engine_test
+
+import (
+	"testing"
+
+	"qres/internal/engine"
+	"qres/internal/table"
+	"qres/internal/testdb"
+	"qres/internal/uncertain"
+)
+
+func TestSortNode(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	plan := engine.Sort(engine.Scan("Education", "e"),
+		engine.SortKey{By: engine.Col("e", "Year"), Desc: true},
+		engine.SortKey{By: engine.Col("e", "Alumni")})
+	res, err := engine.Run(udb, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	years := make([]int64, len(res.Rows))
+	for i, r := range res.Rows {
+		years[i] = r.Tuple[2].AsInt()
+	}
+	for i := 1; i < len(years); i++ {
+		if years[i] > years[i-1] {
+			t.Fatalf("not descending: %v", years)
+		}
+	}
+	// Provenance passes through sorting untouched.
+	for _, r := range res.Rows {
+		if r.Prov.NumTerms() != 1 {
+			t.Fatalf("sort changed provenance: %v", r.Prov)
+		}
+	}
+}
+
+func TestSortNullsAndErrors(t *testing.T) {
+	db := table.NewDatabase()
+	rel := table.NewRelation("t", table.NewSchema(table.Column{Name: "x", Kind: table.KindInt}))
+	rel.MustAppend(table.Tuple{table.Int(2)}, nil)
+	rel.MustAppend(table.Tuple{table.Null()}, nil)
+	rel.MustAppend(table.Tuple{table.Int(1)}, nil)
+	db.MustAdd(rel)
+	udb := uncertain.New(db)
+
+	res, err := engine.Run(udb, engine.Sort(engine.Scan("t", ""),
+		engine.SortKey{By: engine.Col("", "x")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NULL sorts first ascending.
+	if !res.Rows[0].Tuple[0].IsNull() || res.Rows[1].Tuple[0].AsInt() != 1 {
+		t.Fatalf("order = %v", res.Rows)
+	}
+	// Unknown sort column fails to bind.
+	if _, err := engine.Run(udb, engine.Sort(engine.Scan("t", ""),
+		engine.SortKey{By: engine.Col("", "nope")})); err == nil {
+		t.Fatal("unknown sort key accepted")
+	}
+}
+
+func TestLimitNode(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	for _, c := range []struct{ n, want int }{{0, 0}, {2, 2}, {6, 6}, {99, 6}, {-1, 6}} {
+		res, err := engine.Run(udb, engine.Limit(engine.Scan("Education", "e"), c.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("Limit(%d) = %d rows, want %d", c.n, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	// Join with the empty conjunction: a pure cross product.
+	plan := engine.Join(engine.Scan("Acquisitions", "a"), engine.Scan("Roles", "r"), engine.And())
+	res, err := engine.Run(udb, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4*6 {
+		t.Fatalf("cross product = %d rows, want 24", len(res.Rows))
+	}
+	// Each row's provenance is the conjunction of the two inputs.
+	for _, r := range res.Rows {
+		if r.Prov.NumTerms() != 1 || len(r.Prov.Terms()[0]) != 2 {
+			t.Fatalf("provenance = %v", r.Prov)
+		}
+	}
+}

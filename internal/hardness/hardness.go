@@ -1,0 +1,261 @@
+// Package hardness implements the constructions behind the paper's
+// intractability results (Section 3) as executable reductions, so that the
+// connection between OPT-RESOLVE and VERTEX COVER can be tested rather
+// than just stated:
+//
+//   - Theorem 3.1: a fixed Selection-Join (SJ) query and a database built
+//     from a graph G such that each edge (u,v) yields one output tuple with
+//     provenance x_u ∧ x_v ∧ x_{u,v}; minimal 0-certificates of the
+//     provenance correspond to minimum vertex covers of G.
+//   - Theorem 3.2: a fixed Selection-Projection-Union (SPU) query over a
+//     3-ary Graph relation such that each edge yields provenance x_u ∨ x_v;
+//     minimal 1-certificates correspond to minimum vertex covers.
+//
+// The package also provides the certificate machinery (0/1-certificates
+// and brute-force minimum certificates/covers for small inputs) used by
+// the tests to verify both directions of the reductions.
+package hardness
+
+import (
+	"fmt"
+	"sort"
+
+	"qres/internal/boolexpr"
+	"qres/internal/engine"
+	"qres/internal/table"
+	"qres/internal/uncertain"
+)
+
+// Graph is an undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g Graph) MaxDegree() int {
+	deg := make([]int, g.N)
+	max := 0
+	for _, e := range g.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+		if deg[e[0]] > max {
+			max = deg[e[0]]
+		}
+		if deg[e[1]] > max {
+			max = deg[e[1]]
+		}
+	}
+	return max
+}
+
+// SJReduction is the Theorem 3.1 construction for a graph: the uncertain
+// database (Vars, Terms relations), the fixed SJ query, and the mapping
+// from graph vertices/edges to tuple variables.
+type SJReduction struct {
+	DB        *uncertain.DB
+	Query     engine.Node
+	VertexVar map[int]boolexpr.Var
+	EdgeVar   map[[2]int]boolexpr.Var
+}
+
+// BuildSJ constructs the SJ reduction. The paper's query is
+//
+//	SELECT * FROM Vars v1, Vars v2, Terms t
+//	WHERE v1.a = t.a1 AND v2.a = t.a2
+//
+// (the statement in the paper binds both sides to v1; the intended
+// construction, which yields provenance x_u ∧ x_v ∧ x_{u,v} per edge, joins
+// the two endpoints separately, as done here).
+func BuildSJ(g Graph) *SJReduction {
+	db := table.NewDatabase()
+	vars := table.NewRelation("Vars", table.NewSchema(
+		table.Column{Name: "a", Kind: table.KindInt}))
+	for v := 0; v < g.N; v++ {
+		vars.MustAppend(table.Tuple{table.Int(int64(v))}, nil)
+	}
+	db.MustAdd(vars)
+	terms := table.NewRelation("Terms", table.NewSchema(
+		table.Column{Name: "a1", Kind: table.KindInt},
+		table.Column{Name: "a2", Kind: table.KindInt}))
+	for _, e := range g.Edges {
+		terms.MustAppend(table.Tuple{table.Int(int64(e[0])), table.Int(int64(e[1]))}, nil)
+	}
+	db.MustAdd(terms)
+	udb := uncertain.New(db)
+
+	red := &SJReduction{
+		DB:        udb,
+		VertexVar: make(map[int]boolexpr.Var, g.N),
+		EdgeVar:   make(map[[2]int]boolexpr.Var, len(g.Edges)),
+	}
+	for v := 0; v < g.N; v++ {
+		x, _ := udb.VarFor("Vars", v)
+		red.VertexVar[v] = x
+	}
+	for i, e := range g.Edges {
+		x, _ := udb.VarFor("Terms", i)
+		red.EdgeVar[e] = x
+	}
+
+	join1 := engine.Join(
+		engine.Scan("Vars", "v1"), engine.Scan("Terms", "t"),
+		engine.Cmp(engine.Col("v1", "a"), engine.OpEq, engine.Col("t", "a1")))
+	red.Query = engine.Join(
+		join1, engine.Scan("Vars", "v2"),
+		engine.Cmp(engine.Col("v2", "a"), engine.OpEq, engine.Col("t", "a2")))
+	return red
+}
+
+// SPUReduction is the Theorem 3.2 construction for graphs of maximum
+// degree <= 3.
+type SPUReduction struct {
+	DB        *uncertain.DB
+	Query     engine.Node
+	VertexVar map[int]boolexpr.Var
+}
+
+// BuildSPU constructs the SPU reduction: a 3-ary Graph relation with one
+// tuple per vertex listing (up to) its three incident edges, NULL-padded,
+// and the query
+//
+//	SELECT e1 FROM Graph WHERE e1 IS NOT NULL
+//	UNION SELECT e2 FROM Graph WHERE e2 IS NOT NULL
+//	UNION SELECT e3 FROM Graph WHERE e3 IS NOT NULL
+//
+// so each edge e=(u,v) yields one output tuple with provenance x_u ∨ x_v.
+// It returns an error for graphs with a vertex of degree > 3.
+func BuildSPU(g Graph) (*SPUReduction, error) {
+	if g.MaxDegree() > 3 {
+		return nil, fmt.Errorf("hardness: SPU reduction requires max degree <= 3, got %d", g.MaxDegree())
+	}
+	incident := make([][]int, g.N)
+	for ei, e := range g.Edges {
+		incident[e[0]] = append(incident[e[0]], ei)
+		incident[e[1]] = append(incident[e[1]], ei)
+	}
+
+	db := table.NewDatabase()
+	graph := table.NewRelation("Graph", table.NewSchema(
+		table.Column{Name: "e1", Kind: table.KindInt},
+		table.Column{Name: "e2", Kind: table.KindInt},
+		table.Column{Name: "e3", Kind: table.KindInt}))
+	for v := 0; v < g.N; v++ {
+		tup := table.Tuple{table.Null(), table.Null(), table.Null()}
+		for slot, ei := range incident[v] {
+			tup[slot] = table.Int(int64(ei))
+		}
+		graph.MustAppend(tup, nil)
+	}
+	db.MustAdd(graph)
+	udb := uncertain.New(db)
+
+	red := &SPUReduction{DB: udb, VertexVar: make(map[int]boolexpr.Var, g.N)}
+	for v := 0; v < g.N; v++ {
+		x, _ := udb.VarFor("Graph", v)
+		red.VertexVar[v] = x
+	}
+
+	branch := func(col string) engine.Node {
+		return engine.Project(
+			engine.Select(engine.Scan("Graph", "g"), engine.IsNotNull(engine.Col("g", col))),
+			true, engine.Col("g", col))
+	}
+	red.Query = engine.Union(branch("e1"), branch("e2"), branch("e3"))
+	return red, nil
+}
+
+// IsZeroCertificate reports whether assigning False to the given variables
+// forces every expression to False (a 0-certificate: a proof that all
+// provenance expressions are False regardless of the other variables).
+func IsZeroCertificate(exprs []boolexpr.Expr, vars []boolexpr.Var) bool {
+	val := boolexpr.NewValuation()
+	for _, v := range vars {
+		val.Set(v, false)
+	}
+	for _, e := range exprs {
+		if !e.Simplify(val).IsFalse() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsOneCertificate reports whether assigning True to the given variables
+// forces every expression to True (a 1-certificate).
+func IsOneCertificate(exprs []boolexpr.Expr, vars []boolexpr.Var) bool {
+	val := boolexpr.NewValuation()
+	for _, v := range vars {
+		val.Set(v, true)
+	}
+	for _, e := range exprs {
+		if !e.Simplify(val).IsTrue() {
+			return false
+		}
+	}
+	return true
+}
+
+// MinCertificateSize finds, by exhaustive search over subsets of the
+// candidate variables, the size of a minimum certificate (0- or
+// 1-certificate per the zero flag). Exponential; for tests on small
+// reductions only. Returns -1 if no certificate exists within the
+// candidate set.
+func MinCertificateSize(exprs []boolexpr.Expr, candidates []boolexpr.Var, zero bool) int {
+	sorted := append([]boolexpr.Var(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := len(sorted)
+	for size := 0; size <= n; size++ {
+		if searchSubsets(exprs, sorted, nil, 0, size, zero) {
+			return size
+		}
+	}
+	return -1
+}
+
+func searchSubsets(exprs []boolexpr.Expr, pool []boolexpr.Var, chosen []boolexpr.Var, start, size int, zero bool) bool {
+	if len(chosen) == size {
+		if zero {
+			return IsZeroCertificate(exprs, chosen)
+		}
+		return IsOneCertificate(exprs, chosen)
+	}
+	for i := start; i <= len(pool)-(size-len(chosen)); i++ {
+		if searchSubsets(exprs, pool, append(chosen, pool[i]), i+1, size, zero) {
+			return true
+		}
+	}
+	return false
+}
+
+// MinVertexCoverSize computes the minimum vertex-cover size of g by
+// exhaustive search (for tests on small graphs).
+func MinVertexCoverSize(g Graph) int {
+	for size := 0; size <= g.N; size++ {
+		if coverSearch(g, nil, 0, size) {
+			return size
+		}
+	}
+	return g.N
+}
+
+func coverSearch(g Graph, chosen []int, start, size int) bool {
+	if len(chosen) == size {
+		inCover := make(map[int]bool, len(chosen))
+		for _, v := range chosen {
+			inCover[v] = true
+		}
+		for _, e := range g.Edges {
+			if !inCover[e[0]] && !inCover[e[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	for v := start; v <= g.N-(size-len(chosen)); v++ {
+		if coverSearch(g, append(chosen, v), v+1, size) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,229 @@
+package hardness
+
+import (
+	"math/rand"
+	"testing"
+
+	"qres/internal/boolexpr"
+	"qres/internal/engine"
+)
+
+func triangle() Graph {
+	return Graph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}
+}
+
+func path4() Graph {
+	return Graph{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}}
+}
+
+func star() Graph {
+	// Star with center 0: cover size 1.
+	return Graph{N: 4, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}}}
+}
+
+func randomGraph(rng *rand.Rand, n, m int) Graph {
+	g := Graph{N: n}
+	seen := make(map[[2]int]bool)
+	for len(g.Edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		g.Edges = append(g.Edges, [2]int{u, v})
+	}
+	return g
+}
+
+// The SJ construction must produce, per edge (u,v), exactly one output
+// tuple with provenance x_u ∧ x_v ∧ x_{u,v} (paper Theorem 3.1).
+func TestSJProvenanceShape(t *testing.T) {
+	g := triangle()
+	red := BuildSJ(g)
+	res, err := engine.Run(red.DB, red.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(g.Edges) {
+		t.Fatalf("got %d output tuples, want %d", len(res.Rows), len(g.Edges))
+	}
+	wantExprs := make(map[string]bool)
+	for _, e := range g.Edges {
+		expr := boolexpr.NewExpr(boolexpr.NewTerm(
+			red.VertexVar[e[0]], red.VertexVar[e[1]], red.EdgeVar[e]))
+		wantExprs[expr.String()] = true
+	}
+	for _, row := range res.Rows {
+		if !wantExprs[row.Prov.String()] {
+			t.Errorf("unexpected provenance %v", row.Prov)
+		}
+		if row.Prov.NumTerms() != 1 || len(row.Prov.Terms()[0]) != 3 {
+			t.Errorf("provenance not a 3-conjunction: %v", row.Prov)
+		}
+	}
+}
+
+// The SPU construction must produce, per edge, one output tuple with
+// provenance x_u ∨ x_v (paper Theorem 3.2).
+func TestSPUProvenanceShape(t *testing.T) {
+	g := path4()
+	red, err := BuildSPU(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(red.DB, red.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(g.Edges) {
+		t.Fatalf("got %d output tuples, want %d", len(res.Rows), len(g.Edges))
+	}
+	wantExprs := make(map[string]bool)
+	for _, e := range g.Edges {
+		expr := boolexpr.Lit(red.VertexVar[e[0]]).Or(boolexpr.Lit(red.VertexVar[e[1]]))
+		wantExprs[expr.String()] = true
+	}
+	for _, row := range res.Rows {
+		if !wantExprs[row.Prov.String()] {
+			t.Errorf("unexpected provenance %v", row.Prov)
+		}
+	}
+}
+
+func TestSPUDegreeLimit(t *testing.T) {
+	g := Graph{N: 5, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}}
+	if _, err := BuildSPU(g); err == nil {
+		t.Fatal("degree-4 vertex accepted")
+	}
+}
+
+// The heart of Theorem 3.1: minimum 0-certificates over vertex variables
+// of the SJ provenance have exactly the minimum-vertex-cover size.
+// (Certificates may also use edge variables; per the proof, replacing an
+// edge variable x_{u,v} by either endpoint preserves certification, so the
+// minimum over all variables equals the minimum over vertex variables.)
+func TestSJZeroCertificateEqualsVertexCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	graphs := []Graph{triangle(), path4(), star(),
+		randomGraph(rng, 5, 6), randomGraph(rng, 6, 7)}
+	for gi, g := range graphs {
+		red := BuildSJ(g)
+		res, err := engine.Run(red.DB, red.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exprs := res.Provenance()
+
+		vertexVars := make([]boolexpr.Var, 0, g.N)
+		for v := 0; v < g.N; v++ {
+			vertexVars = append(vertexVars, red.VertexVar[v])
+		}
+		certSize := MinCertificateSize(exprs, vertexVars, true)
+		coverSize := MinVertexCoverSize(g)
+		if certSize != coverSize {
+			t.Errorf("graph %d: min 0-certificate %d != min vertex cover %d", gi, certSize, coverSize)
+		}
+
+		// Sanity: a full vertex cover is a 0-certificate, a non-cover is not.
+		if !IsZeroCertificate(exprs, vertexVars) {
+			t.Errorf("graph %d: all vertices must certify", gi)
+		}
+	}
+}
+
+// The heart of Theorem 3.2: minimum 1-certificates of the SPU provenance
+// have exactly the minimum-vertex-cover size.
+func TestSPUOneCertificateEqualsVertexCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := []Graph{triangle(), path4(), star()}
+	// Random degree-<=3 graphs.
+	for tries := 0; len(graphs) < 6 && tries < 100; tries++ {
+		g := randomGraph(rng, 6, 6)
+		if g.MaxDegree() <= 3 {
+			graphs = append(graphs, g)
+		}
+	}
+	for gi, g := range graphs {
+		red, err := BuildSPU(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Run(red.DB, red.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exprs := res.Provenance()
+
+		vertexVars := make([]boolexpr.Var, 0, g.N)
+		for v := 0; v < g.N; v++ {
+			vertexVars = append(vertexVars, red.VertexVar[v])
+		}
+		certSize := MinCertificateSize(exprs, vertexVars, false)
+		coverSize := MinVertexCoverSize(g)
+		if certSize != coverSize {
+			t.Errorf("graph %d: min 1-certificate %d != min vertex cover %d", gi, certSize, coverSize)
+		}
+	}
+}
+
+func TestCertificatePredicates(t *testing.T) {
+	// φ = x0 ∨ x1; ψ = x1 ∨ x2.
+	exprs := []boolexpr.Expr{
+		boolexpr.Lit(0).Or(boolexpr.Lit(1)),
+		boolexpr.Lit(1).Or(boolexpr.Lit(2)),
+	}
+	if !IsOneCertificate(exprs, []boolexpr.Var{1}) {
+		t.Error("x1=True certifies both")
+	}
+	if IsOneCertificate(exprs, []boolexpr.Var{0}) {
+		t.Error("x0=True leaves ψ open")
+	}
+	if !IsZeroCertificate(exprs, []boolexpr.Var{0, 1, 2}) {
+		t.Error("all-False certifies 0")
+	}
+	if IsZeroCertificate(exprs, []boolexpr.Var{0, 1}) {
+		t.Error("x2 can still satisfy ψ")
+	}
+	if MinCertificateSize(exprs, []boolexpr.Var{0, 1, 2}, false) != 1 {
+		t.Error("min 1-certificate should be {x1}")
+	}
+	if MinCertificateSize(exprs, []boolexpr.Var{0, 1, 2}, true) != 3 {
+		t.Error("min 0-certificate needs all three")
+	}
+	// No certificate within a candidate set.
+	if MinCertificateSize(exprs, []boolexpr.Var{0}, true) != -1 {
+		t.Error("expected no certificate")
+	}
+}
+
+func TestMinVertexCover(t *testing.T) {
+	cases := []struct {
+		g    Graph
+		want int
+	}{
+		{triangle(), 2},
+		{path4(), 2},
+		{star(), 1},
+		{Graph{N: 2, Edges: nil}, 0},
+	}
+	for i, c := range cases {
+		if got := MinVertexCoverSize(c.g); got != c.want {
+			t.Errorf("case %d: cover = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if star().MaxDegree() != 3 {
+		t.Error("star degree wrong")
+	}
+	if (Graph{N: 3}).MaxDegree() != 0 {
+		t.Error("empty graph degree wrong")
+	}
+}

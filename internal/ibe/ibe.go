@@ -1,0 +1,149 @@
+// Package ibe implements the classic sequential Interactive Boolean
+// Evaluation algorithms the paper's utility functions are derived from
+// (Section 5): given a monotone Boolean expression and independent
+// variable probabilities, repeatedly choose a variable to observe until
+// the expression's truth value is determined.
+//
+//   - ReadOnceStep: Boros and Ünlüyurt's rule for (read-once) DNF —
+//     select the least-likely-True variable inside the likeliest term
+//     (recast by the paper as the RO utility, Formula 2);
+//   - AlternatingStep: Allen, Hellerstein, Kletenik and Ünlüyurt's
+//     alternation between a False-targeting and a True-targeting rule
+//     (recast as the General utility, Formulas 3 + 2);
+//   - Evaluator: the surrounding observe–simplify loop, usable with any
+//     step rule, with an oracle revealing variable values.
+//
+// These are reference implementations: the resolution framework proper
+// scores *all* candidates with utility functions instead (so that scores
+// can be combined with learning signals), and the tests of this package
+// verify the paper's claim that the utility argmax coincides with the
+// algorithmic choice on single expressions.
+package ibe
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"qres/internal/boolexpr"
+)
+
+// Probs supplies the (assumed independent) probability that each variable
+// is True.
+type Probs func(boolexpr.Var) float64
+
+// StepRule chooses the next variable to observe for an undecided
+// expression. Implementations must return a variable of the expression.
+type StepRule func(e boolexpr.Expr, p Probs) boolexpr.Var
+
+// ReadOnceStep is the Boros–Ünlüyurt selection: among the DNF terms pick
+// one maximizing W(T) = (1/|T|)·Π p(x), then within it the variable with
+// the smallest p(x). Ties break deterministically toward smaller variable
+// IDs. (For read-once expressions this yields an optimal expected-cost
+// strategy; the paper's Formula (2) generalizes the same preference to a
+// score over arbitrary expression sets.)
+func ReadOnceStep(e boolexpr.Expr, p Probs) boolexpr.Var {
+	bestTerm := -1
+	bestW := math.Inf(-1)
+	terms := e.Terms()
+	for i, t := range terms {
+		w := 1.0
+		for _, x := range t {
+			w *= p(x)
+		}
+		w /= float64(len(t))
+		if w > bestW {
+			bestW, bestTerm = w, i
+		}
+	}
+	term := terms[bestTerm]
+	best := term[0]
+	for _, x := range term[1:] {
+		if p(x) < p(best) {
+			best = x
+		}
+	}
+	return best
+}
+
+// FalseTargetingStep is the AHKU False-direction rule: pick the variable
+// maximizing (1 − p(x)) · (number of DNF terms containing x), the expected
+// count of terms its falsification eliminates (the paper's Formula 3).
+func FalseTargetingStep(e boolexpr.Expr, p Probs) boolexpr.Var {
+	counts := make(map[boolexpr.Var]int)
+	for _, t := range e.Terms() {
+		for _, x := range t {
+			counts[x]++
+		}
+	}
+	vars := make([]boolexpr.Var, 0, len(counts))
+	for x := range counts {
+		vars = append(vars, x)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	best, bestScore := vars[0], math.Inf(-1)
+	for _, x := range vars {
+		score := (1 - p(x)) * float64(counts[x])
+		if score > bestScore {
+			best, bestScore = x, score
+		}
+	}
+	return best
+}
+
+// AlternatingStep alternates FalseTargetingStep (even rounds) with
+// ReadOnceStep (odd rounds), the AHKU scheme the General utility recasts.
+func AlternatingStep(round int) StepRule {
+	return func(e boolexpr.Expr, p Probs) boolexpr.Var {
+		if round%2 == 0 {
+			return FalseTargetingStep(e, p)
+		}
+		return ReadOnceStep(e, p)
+	}
+}
+
+// Oracle reveals variable truth values.
+type Oracle func(boolexpr.Var) (bool, error)
+
+// Evaluate drives the observe–simplify loop on a single expression with a
+// per-round step rule (round counts from 0): it returns the expression's
+// truth value and the number of observations used.
+func Evaluate(e boolexpr.Expr, p Probs, step func(round int) StepRule, orc Oracle) (value bool, observations int, err error) {
+	val := boolexpr.NewValuation()
+	round := 0
+	for !e.Decided() {
+		rule := step(round)
+		if rule == nil {
+			return false, observations, errors.New("ibe: nil step rule")
+		}
+		x := rule(e, p)
+		if val.Assigned(x) {
+			return false, observations, errors.New("ibe: rule re-selected an observed variable")
+		}
+		answer, err := orc(x)
+		if err != nil {
+			return false, observations, err
+		}
+		observations++
+		val.Set(x, answer)
+		e = e.Simplify(val)
+		round++
+	}
+	return e.Value(), observations, nil
+}
+
+// IsReadOnce reports whether the expression mentions no variable more than
+// once — the class for which Boros and Ünlüyurt's algorithm is optimal and
+// which SJ and SPU queries induce per expression (paper Section 3).
+func IsReadOnce(e boolexpr.Expr) bool {
+	seen := make(map[boolexpr.Var]bool)
+	for _, t := range e.Terms() {
+		for _, x := range t {
+			if seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+	}
+	return true
+}

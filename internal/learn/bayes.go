@@ -1,0 +1,89 @@
+package learn
+
+import "math"
+
+// NaiveBayes is a categorical naive Bayes classifier with Laplace
+// smoothing. The paper reports experimenting with naive Bayes as an
+// alternative Learner, "which performed similarly or slightly worse than
+// RF" (Section 4); it is kept here for the model ablation.
+type NaiveBayes struct {
+	nf         int
+	priorPos   float64
+	nPos, nNeg int
+	// counts[class][feature][code] = occurrences
+	countsPos []map[int32]int
+	countsNeg []map[int32]int
+	// cards[feature] = number of distinct codes observed (smoothing
+	// denominator).
+	cards []int
+}
+
+// FitNaiveBayes trains the classifier on d.
+func FitNaiveBayes(d *Dataset) *NaiveBayes {
+	nf := d.NumFeatures()
+	nb := &NaiveBayes{
+		nf:        nf,
+		countsPos: make([]map[int32]int, nf),
+		countsNeg: make([]map[int32]int, nf),
+		cards:     make([]int, nf),
+	}
+	for f := 0; f < nf; f++ {
+		nb.countsPos[f] = make(map[int32]int)
+		nb.countsNeg[f] = make(map[int32]int)
+	}
+	seen := make([]map[int32]struct{}, nf)
+	for f := range seen {
+		seen[f] = make(map[int32]struct{})
+	}
+	for i, x := range d.X {
+		if d.Y[i] {
+			nb.nPos++
+		} else {
+			nb.nNeg++
+		}
+		for f, code := range x {
+			seen[f][code] = struct{}{}
+			if d.Y[i] {
+				nb.countsPos[f][code]++
+			} else {
+				nb.countsNeg[f][code]++
+			}
+		}
+	}
+	for f := range seen {
+		nb.cards[f] = len(seen[f])
+	}
+	if n := nb.nPos + nb.nNeg; n > 0 {
+		nb.priorPos = float64(nb.nPos) / float64(n)
+	} else {
+		nb.priorPos = 0.5
+	}
+	return nb
+}
+
+// ProbTrue returns the posterior P(correct | x) under the conditional
+// independence assumption, computed in log space for stability.
+func (nb *NaiveBayes) ProbTrue(x []int32) float64 {
+	if nb.nPos+nb.nNeg == 0 {
+		return 0.5
+	}
+	// Degenerate single-class training data: the posterior is the prior.
+	if nb.nPos == 0 {
+		return 0
+	}
+	if nb.nNeg == 0 {
+		return 1
+	}
+	logPos := math.Log(nb.priorPos)
+	logNeg := math.Log(1 - nb.priorPos)
+	for f := 0; f < nb.nf && f < len(x); f++ {
+		k := float64(nb.cards[f] + 1) // +1 for unseen codes
+		logPos += math.Log((float64(nb.countsPos[f][x[f]]) + 1) / (float64(nb.nPos) + k))
+		logNeg += math.Log((float64(nb.countsNeg[f][x[f]]) + 1) / (float64(nb.nNeg) + k))
+	}
+	// Normalize: p = e^lp / (e^lp + e^ln) computed via the stable sigmoid.
+	return 1 / (1 + math.Exp(logNeg-logPos))
+}
+
+// Predict returns the MAP class for x.
+func (nb *NaiveBayes) Predict(x []int32) bool { return nb.ProbTrue(x) >= 0.5 }

@@ -1,0 +1,139 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size; the paper uses 100 by default.
+	Trees int
+	// MaxDepth bounds individual trees; 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum examples per leaf.
+	MinLeaf int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultForestConfig mirrors the paper's setup: 100 trees, unbounded
+// depth, leaves down to a single example.
+func DefaultForestConfig(seed int64) ForestConfig {
+	return ForestConfig{Trees: 100, Seed: seed}
+}
+
+// Forest is a random-forest binary classifier with the standard
+// probability generalization the paper relies on (Section 4): "considering
+// each tree as a 'vote' for the class it assigns ... and using the
+// percentage of votes as the probability".
+type Forest struct {
+	trees []*Tree
+	nf    int
+	cfg   ForestConfig
+}
+
+// FitForest trains a forest on d: each tree sees a bootstrap sample of the
+// rows and √d-feature subsampling per split. Training is deterministic in
+// cfg.Seed. An empty dataset yields a forest that predicts 0.5 everywhere.
+func FitForest(d *Dataset, cfg ForestConfig) *Forest {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 100
+	}
+	f := &Forest{nf: d.NumFeatures(), cfg: cfg}
+	if d.Len() == 0 {
+		return f
+	}
+	featSample := int(math.Ceil(math.Sqrt(float64(d.NumFeatures()))))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample (with replacement, same size as the data).
+		idx := make([]int, d.Len())
+		for i := range idx {
+			idx[i] = rng.Intn(d.Len())
+		}
+		tree := FitTree(d, idx, TreeConfig{
+			MaxDepth:      cfg.MaxDepth,
+			MinLeaf:       cfg.MinLeaf,
+			FeatureSample: featSample,
+		}, rng)
+		f.trees = append(f.trees, tree)
+	}
+	return f
+}
+
+// NumTrees returns the ensemble size (0 before training on data).
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// ProbTrue estimates P(correct | x) as the fraction of trees voting True.
+func (f *Forest) ProbTrue(x []int32) float64 {
+	if len(f.trees) == 0 {
+		return 0.5
+	}
+	votes := 0
+	for _, t := range f.trees {
+		if t.Predict(x) {
+			votes++
+		}
+	}
+	return float64(votes) / float64(len(f.trees))
+}
+
+// VoteStats returns the mean and variance of the per-tree soft
+// probabilities for x. The variance is a disagreement measure LAL uses as
+// a learning-state feature.
+func (f *Forest) VoteStats(x []int32) (mean, variance float64) {
+	if len(f.trees) == 0 {
+		return 0.5, 0
+	}
+	var sum, sq float64
+	for _, t := range f.trees {
+		p := t.ProbTrue(x)
+		sum += p
+		sq += p * p
+	}
+	n := float64(len(f.trees))
+	mean = sum / n
+	variance = sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// Predict returns the majority-vote class for x.
+func (f *Forest) Predict(x []int32) bool { return f.ProbTrue(x) >= 0.5 }
+
+// FeatureImportances returns the normalized mean decrease in impurity per
+// feature (summing to 1 when any split exists), the statistic the paper's
+// Section 7.4 feature-importance analysis reports.
+func (f *Forest) FeatureImportances() []float64 {
+	imp := make([]float64, f.nf)
+	for _, t := range f.trees {
+		t.accumulateImportance(imp)
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// Accuracy evaluates classification accuracy on a labeled dataset.
+func (f *Forest) Accuracy(d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range d.X {
+		if f.Predict(x) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}

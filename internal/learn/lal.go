@@ -1,0 +1,190 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// LAL implements Learning Active Learning (Konyushkova et al. [59], the
+// method the paper adopts in Section 4 for "estimating uncertainty
+// reduction"): a regressor trained offline on synthetic learning states
+// that predicts, for a candidate probe in the current state of the
+// classifier, the expected reduction in generalization error the probe's
+// answer would yield. The paper: "LAL uses a regressor that is trained on
+// an annotated dataset (which does not need to come from the domain of
+// interest). The regressor is transferred to predict the error reduction
+// for an instance in a specific learning state."
+//
+// This is the dataset-independent LAL variant: the training tasks are
+// synthetic categorical classification problems generated here, so the
+// trained LAL transfers to any Learner state.
+type LAL struct {
+	reg *RegForest
+}
+
+// LALConfig controls offline LAL training.
+type LALConfig struct {
+	// Tasks is the number of synthetic classification tasks to simulate.
+	Tasks int
+	// CandidatesPerState is how many candidate points are scored (and
+	// labeled with their true error reduction) per learning state.
+	CandidatesPerState int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultLALConfig returns a configuration that trains in well under a
+// second while producing a usable regressor.
+func DefaultLALConfig(seed int64) LALConfig {
+	return LALConfig{Tasks: 30, CandidatesPerState: 6, Seed: seed}
+}
+
+// numStateFeatures is the width of the learning-state feature vector.
+const numStateFeatures = 6
+
+// stateFeatures builds the LAL learning-state representation of candidate
+// x under classifier f: the hand-designed features of the LAL paper
+// adapted to random forests — predicted probability, vote variance,
+// distance from the decision boundary, (log) training-set size, class
+// balance of the training set, and ensemble disagreement with the hard
+// prediction.
+func stateFeatures(f *Forest, trainSize int, posFrac float64, x []int32) []float64 {
+	mean, variance := f.VoteStats(x)
+	hard := 0.0
+	if f.ProbTrue(x) >= 0.5 {
+		hard = 1.0
+	}
+	return []float64{
+		mean,
+		variance,
+		math.Abs(mean - 0.5),
+		math.Log1p(float64(trainSize)),
+		posFrac,
+		math.Abs(mean - hard),
+	}
+}
+
+// TrainLAL trains the transfer regressor by Monte-Carlo simulation over
+// synthetic tasks: for random learning states (task, training subset) and
+// random candidates, the true error reduction from acquiring the candidate
+// label is measured on a held-out set, and a regression forest is fit on
+// (state features → error reduction).
+func TrainLAL(cfg LALConfig) *LAL {
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 30
+	}
+	if cfg.CandidatesPerState <= 0 {
+		cfg.CandidatesPerState = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sample := &RegDataset{}
+
+	for task := 0; task < cfg.Tasks; task++ {
+		pool, test := syntheticTask(rng)
+		// A ladder of training-set sizes within the active-learning
+		// regime (small sets, where probe choice matters most).
+		for _, n := range []int{10, 20, 40, 80} {
+			if n >= pool.Len() {
+				break
+			}
+			train := &Dataset{}
+			perm := rng.Perm(pool.Len())
+			for _, i := range perm[:n] {
+				train.Add(pool.X[i], pool.Y[i])
+			}
+			forestCfg := ForestConfig{Trees: 15, Seed: rng.Int63()}
+			f := FitForest(train, forestCfg)
+			baseErr := 1 - f.Accuracy(test)
+			posFrac := train.PositiveFraction()
+
+			for c := 0; c < cfg.CandidatesPerState; c++ {
+				ci := perm[n+rng.Intn(pool.Len()-n)]
+				feats := stateFeatures(f, train.Len(), posFrac, pool.X[ci])
+
+				extended := &Dataset{}
+				extended.X = append(append([][]int32{}, train.X...), pool.X[ci])
+				extended.Y = append(append([]bool{}, train.Y...), pool.Y[ci])
+				f2 := FitForest(extended, ForestConfig{Trees: 15, Seed: forestCfg.Seed})
+				gain := baseErr - (1 - f2.Accuracy(test))
+				sample.Add(feats, gain)
+			}
+		}
+	}
+	return &LAL{reg: FitRegForest(sample, RegForestConfig{
+		Trees: 40, MaxDepth: 8, MinLeaf: 4, Seed: cfg.Seed + 1,
+	})}
+}
+
+// syntheticTask generates one random categorical binary-classification
+// task: feature vectors with per-feature random cardinalities, labeled by
+// a hidden noisy rule over a subset of features, split into a training
+// pool and a test set.
+func syntheticTask(rng *rand.Rand) (pool, test *Dataset) {
+	nf := 3 + rng.Intn(4)      // 3..6 features
+	cards := make([]int32, nf) // 2..8 values per feature
+	for i := range cards {
+		cards[i] = 2 + int32(rng.Intn(7))
+	}
+	// Hidden rule: y = (x[f0] in S0) xor-noise, with S0 a random half of
+	// the codes of a random feature, plus a second feature's influence.
+	f0 := rng.Intn(nf)
+	f1 := rng.Intn(nf)
+	in0 := make(map[int32]bool)
+	for c := int32(0); c < cards[f0]; c++ {
+		if rng.Intn(2) == 0 {
+			in0[c] = true
+		}
+	}
+	noise := 0.05 + 0.1*rng.Float64()
+
+	gen := func(n int) *Dataset {
+		d := &Dataset{}
+		for i := 0; i < n; i++ {
+			x := make([]int32, nf)
+			for f := range x {
+				x[f] = int32(rng.Intn(int(cards[f])))
+			}
+			y := in0[x[f0]]
+			if x[f1]%2 == 0 {
+				y = !y
+			}
+			if rng.Float64() < noise {
+				y = !y
+			}
+			d.Add(x, y)
+		}
+		return d
+	}
+	return gen(160), gen(120)
+}
+
+// Score predicts the expected error reduction of probing candidate x given
+// the current classifier f trained on trainSize examples with the given
+// positive fraction. Scores are clamped to be non-negative, so they can be
+// combined multiplicatively with utilities (Section 6's u·(v+1)).
+func (l *LAL) Score(f *Forest, trainSize int, posFrac float64, x []int32) float64 {
+	if l == nil || l.reg == nil {
+		return 0
+	}
+	v := l.reg.Predict(stateFeatures(f, trainSize, posFrac, x))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+var (
+	sharedLALOnce sync.Once
+	sharedLAL     *LAL
+)
+
+// SharedLAL returns a process-wide LAL regressor trained once with a fixed
+// seed. Resolution sessions default to it so that constructing a session
+// does not pay LAL training time repeatedly.
+func SharedLAL() *LAL {
+	sharedLALOnce.Do(func() {
+		sharedLAL = TrainLAL(DefaultLALConfig(20230601))
+	})
+	return sharedLAL
+}

@@ -1,0 +1,206 @@
+package learn
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// RegDataset is a sample for regression: rows of numeric features with
+// float targets. LAL regresses expected error reduction on learning-state
+// features.
+type RegDataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Add appends one example.
+func (d *RegDataset) Add(x []float64, y float64) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the number of examples.
+func (d *RegDataset) Len() int { return len(d.Y) }
+
+// NumFeatures returns the feature width (0 for an empty dataset).
+func (d *RegDataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// regTree is a binary regression tree with numeric threshold splits
+// (x[feature] <= threshold goes left) minimizing within-node variance.
+type regTree struct {
+	feature     int
+	threshold   float64
+	left, right *regTree
+	value       float64
+	leaf        bool
+}
+
+// regTreeConfig controls regression-tree induction.
+type regTreeConfig struct {
+	maxDepth      int
+	minLeaf       int
+	featureSample int
+}
+
+func fitRegTree(d *RegDataset, idx []int, cfg regTreeConfig, rng *rand.Rand, depth int) *regTree {
+	if len(idx) == 0 {
+		return &regTree{leaf: true}
+	}
+	mean := 0.0
+	for _, i := range idx {
+		mean += d.Y[i]
+	}
+	mean /= float64(len(idx))
+	minLeaf := cfg.minLeaf
+	if minLeaf <= 0 {
+		minLeaf = 1
+	}
+	if (cfg.maxDepth > 0 && depth >= cfg.maxDepth) || len(idx) < 2*minLeaf {
+		return &regTree{leaf: true, value: mean}
+	}
+
+	feature, threshold, ok := bestRegSplit(d, idx, cfg, rng)
+	if !ok {
+		return &regTree{leaf: true, value: mean}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < minLeaf || len(right) < minLeaf {
+		return &regTree{leaf: true, value: mean}
+	}
+	return &regTree{
+		feature:   feature,
+		threshold: threshold,
+		left:      fitRegTree(d, left, cfg, rng, depth+1),
+		right:     fitRegTree(d, right, cfg, rng, depth+1),
+	}
+}
+
+// bestRegSplit finds the (feature, threshold) split minimizing the summed
+// squared error of the two children, scanning sorted feature values with
+// running sums (the standard O(n log n) CART scan).
+func bestRegSplit(d *RegDataset, idx []int, cfg regTreeConfig, rng *rand.Rand) (int, float64, bool) {
+	nf := d.NumFeatures()
+	features := make([]int, nf)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.featureSample > 0 && cfg.featureSample < nf && rng != nil {
+		rng.Shuffle(nf, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.featureSample]
+	}
+
+	var totalSum, totalSq float64
+	for _, i := range idx {
+		totalSum += d.Y[i]
+		totalSq += d.Y[i] * d.Y[i]
+	}
+	n := float64(len(idx))
+	parentSSE := totalSq - totalSum*totalSum/n
+
+	bestGain := 1e-12
+	bestFeature, bestThreshold := -1, 0.0
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return d.X[order[a]][f] < d.X[order[b]][f] })
+		var leftSum, leftSq float64
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			leftSum += d.Y[i]
+			leftSq += d.Y[i] * d.Y[i]
+			x0, x1 := d.X[i][f], d.X[order[k+1]][f]
+			if x0 == x1 {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			sseL := leftSq - leftSum*leftSum/nl
+			sseR := (totalSq - leftSq) - (totalSum-leftSum)*(totalSum-leftSum)/nr
+			gain := parentSSE - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (x0 + x1) / 2
+			}
+		}
+	}
+	return bestFeature, bestThreshold, bestFeature >= 0
+}
+
+func (t *regTree) predict(x []float64) float64 {
+	node := t
+	for !node.leaf {
+		if x[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value
+}
+
+// RegForestConfig controls regression-forest training.
+type RegForestConfig struct {
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	Seed     int64
+}
+
+// RegForest is a random forest of regression trees: bootstrap rows,
+// subsampled features, averaged predictions.
+type RegForest struct {
+	trees []*regTree
+}
+
+// FitRegForest trains a regression forest on d, deterministic in cfg.Seed.
+func FitRegForest(d *RegDataset, cfg RegForestConfig) *RegForest {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 50
+	}
+	f := &RegForest{}
+	if d.Len() == 0 {
+		return f
+	}
+	featSample := d.NumFeatures()/3 + 1 // the regression-forest convention d/3
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, d.Len())
+		for i := range idx {
+			idx[i] = rng.Intn(d.Len())
+		}
+		f.trees = append(f.trees, fitRegTree(d, idx, regTreeConfig{
+			maxDepth:      cfg.MaxDepth,
+			minLeaf:       cfg.MinLeaf,
+			featureSample: featSample,
+		}, rng, 0))
+	}
+	return f
+}
+
+// Predict returns the forest-averaged regression estimate for x.
+func (f *RegForest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// NumTrees returns the ensemble size.
+func (f *RegForest) NumTrees() int { return len(f.trees) }

@@ -1,0 +1,195 @@
+package learn
+
+import (
+	"math/rand"
+)
+
+// TreeConfig controls decision-tree induction.
+type TreeConfig struct {
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum number of examples per leaf (default 1).
+	MinLeaf int
+	// FeatureSample is the number of features considered per split; 0
+	// means all features. Random forests pass ~√d.
+	FeatureSample int
+}
+
+func (c TreeConfig) minLeaf() int {
+	if c.MinLeaf <= 0 {
+		return 1
+	}
+	return c.MinLeaf
+}
+
+// Tree is a binary classification tree over categorical features. Inner
+// nodes test feature equality (x[feature] == code goes left, everything
+// else right), which handles high-cardinality string metadata such as
+// entities and sources without an ordinal embedding. Leaves store the
+// fraction of positive training examples, so a single tree is already a
+// probability estimator.
+type Tree struct {
+	feature     int
+	code        int32
+	left, right *Tree
+	prob        float64
+	leaf        bool
+	// gain is the Gini impurity decrease of this split, weighted by the
+	// node sample fraction; summed per feature it yields the mean
+	// decrease in impurity feature importance (Section 7.4).
+	gain float64
+}
+
+// FitTree induces a tree from the dataset rows at the given indices.
+// rng drives feature subsampling; it may be nil when cfg.FeatureSample is
+// 0. The dataset must be non-empty and valid.
+func FitTree(d *Dataset, indices []int, cfg TreeConfig, rng *rand.Rand) *Tree {
+	if len(indices) == 0 {
+		return &Tree{leaf: true, prob: 0.5}
+	}
+	total := float64(len(indices))
+	return fitNode(d, indices, cfg, rng, 0, total)
+}
+
+func fitNode(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int, total float64) *Tree {
+	pos := 0
+	for _, i := range idx {
+		if d.Y[i] {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	if pos == 0 || pos == len(idx) ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) ||
+		len(idx) < 2*cfg.minLeaf() {
+		return &Tree{leaf: true, prob: prob}
+	}
+
+	feature, code, gain := bestSplit(d, idx, cfg, rng)
+	if feature < 0 {
+		return &Tree{leaf: true, prob: prob}
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feature] == code {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.minLeaf() || len(right) < cfg.minLeaf() {
+		return &Tree{leaf: true, prob: prob}
+	}
+	return &Tree{
+		feature: feature,
+		code:    code,
+		gain:    gain * float64(len(idx)) / total,
+		left:    fitNode(d, left, cfg, rng, depth+1, total),
+		right:   fitNode(d, right, cfg, rng, depth+1, total),
+	}
+}
+
+// gini computes the Gini impurity of a (pos, n) class count.
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// bestSplit searches for the (feature, code) equality split maximizing
+// Gini impurity decrease over the node sample. With FeatureSample > 0 it
+// examines a random feature subset (sampling without replacement), the
+// random-forest decorrelation mechanism.
+func bestSplit(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (feature int, code int32, gain float64) {
+	nf := d.NumFeatures()
+	features := make([]int, nf)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.FeatureSample > 0 && cfg.FeatureSample < nf && rng != nil {
+		rng.Shuffle(nf, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.FeatureSample]
+	}
+
+	posTotal := 0
+	for _, i := range idx {
+		if d.Y[i] {
+			posTotal++
+		}
+	}
+	parent := gini(posTotal, len(idx))
+
+	feature, code, gain = -1, 0, 0
+	for _, f := range features {
+		// Count (n, pos) per observed code at this node.
+		type counts struct{ n, pos int }
+		byCode := make(map[int32]*counts)
+		for _, i := range idx {
+			c := d.X[i][f]
+			ct := byCode[c]
+			if ct == nil {
+				ct = &counts{}
+				byCode[c] = ct
+			}
+			ct.n++
+			if d.Y[i] {
+				ct.pos++
+			}
+		}
+		if len(byCode) < 2 {
+			continue // constant feature at this node
+		}
+		for c, ct := range byCode {
+			nl, pl := ct.n, ct.pos
+			nr, pr := len(idx)-nl, posTotal-pl
+			w := parent -
+				(float64(nl)*gini(pl, nl)+float64(nr)*gini(pr, nr))/float64(len(idx))
+			if w > gain {
+				feature, code, gain = f, c, w
+			}
+		}
+	}
+	return feature, code, gain
+}
+
+// ProbTrue returns the positive-class probability the tree assigns to x.
+func (t *Tree) ProbTrue(x []int32) float64 {
+	node := t
+	for !node.leaf {
+		if x[node.feature] == node.code {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.prob
+}
+
+// Predict returns the majority-class prediction for x.
+func (t *Tree) Predict(x []int32) bool { return t.ProbTrue(x) >= 0.5 }
+
+// Depth returns the depth of the tree (0 for a single leaf).
+func (t *Tree) Depth() int {
+	if t.leaf {
+		return 0
+	}
+	l, r := t.left.Depth(), t.right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// accumulateImportance adds each split's weighted impurity decrease to
+// imp[feature].
+func (t *Tree) accumulateImportance(imp []float64) {
+	if t.leaf {
+		return
+	}
+	imp[t.feature] += t.gain
+	t.left.accumulateImportance(imp)
+	t.right.accumulateImportance(imp)
+}

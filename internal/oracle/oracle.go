@@ -1,0 +1,140 @@
+// Package oracle provides implementations of the resolution framework's
+// oracle abstraction (paper Section 2.2): a probe reveals the ground-truth
+// correctness val*(x) of the tuple labeled by a variable. In practice an
+// oracle is a data expert, a crowdsourcing platform or a high-quality
+// external source; here the ground truth comes from generated valuations,
+// with wrappers simulating the operational properties of human oracles —
+// recording, noise (Section 9's future-work discussion) and latency.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"qres/internal/boolexpr"
+)
+
+// GroundTruth answers probes from a total valuation val*. It is safe for
+// concurrent use (the valuation is only read).
+type GroundTruth struct {
+	val *boolexpr.Valuation
+}
+
+// NewGroundTruth wraps a total valuation as an oracle.
+func NewGroundTruth(val *boolexpr.Valuation) *GroundTruth {
+	return &GroundTruth{val: val}
+}
+
+// Probe returns val*(v). Probing a variable outside the valuation is an
+// error: it indicates the caller selected a probe that does not correspond
+// to any tuple.
+func (o *GroundTruth) Probe(v boolexpr.Var) (bool, error) {
+	answer, ok := o.val.Get(v)
+	if !ok {
+		return false, fmt.Errorf("oracle: no ground truth for variable %d", v)
+	}
+	return answer, nil
+}
+
+// Recorder wraps an oracle and records every probe in order, with a
+// concurrency-safe counter. Experiments use it to assert probe budgets and
+// to replay probe sequences.
+type Recorder struct {
+	inner interface {
+		Probe(boolexpr.Var) (bool, error)
+	}
+	mu     sync.Mutex
+	probes []boolexpr.Var
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner interface {
+	Probe(boolexpr.Var) (bool, error)
+}) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Probe delegates and records.
+func (r *Recorder) Probe(v boolexpr.Var) (bool, error) {
+	answer, err := r.inner.Probe(v)
+	if err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	r.probes = append(r.probes, v)
+	r.mu.Unlock()
+	return answer, nil
+}
+
+// Count returns the number of successful probes so far.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.probes)
+}
+
+// Probes returns a copy of the probe sequence.
+func (r *Recorder) Probes() []boolexpr.Var {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]boolexpr.Var(nil), r.probes...)
+}
+
+// Noisy wraps an oracle and flips each answer independently with a fixed
+// error rate, modeling the erroneous/noisy oracles discussed in the
+// paper's Section 9. Deterministic in the seed; safe for concurrent use.
+type Noisy struct {
+	inner interface {
+		Probe(boolexpr.Var) (bool, error)
+	}
+	rate float64
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// NewNoisy wraps inner with the given flip probability.
+func NewNoisy(inner interface {
+	Probe(boolexpr.Var) (bool, error)
+}, rate float64, seed int64) *Noisy {
+	return &Noisy{inner: inner, rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Probe delegates, then flips the answer with probability rate.
+func (n *Noisy) Probe(v boolexpr.Var) (bool, error) {
+	answer, err := n.inner.Probe(v)
+	if err != nil {
+		return false, err
+	}
+	n.mu.Lock()
+	flip := n.rng.Float64() < n.rate
+	n.mu.Unlock()
+	if flip {
+		answer = !answer
+	}
+	return answer, nil
+}
+
+// Latency wraps an oracle and sleeps for a fixed delay per probe,
+// simulating human answer latency; the parallel-resolution example uses it
+// to demonstrate the latency win of component-parallel probing.
+type Latency struct {
+	inner interface {
+		Probe(boolexpr.Var) (bool, error)
+	}
+	delay time.Duration
+}
+
+// NewLatency wraps inner with a per-probe delay.
+func NewLatency(inner interface {
+	Probe(boolexpr.Var) (bool, error)
+}, delay time.Duration) *Latency {
+	return &Latency{inner: inner, delay: delay}
+}
+
+// Probe sleeps, then delegates.
+func (l *Latency) Probe(v boolexpr.Var) (bool, error) {
+	time.Sleep(l.delay)
+	return l.inner.Probe(v)
+}

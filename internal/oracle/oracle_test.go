@@ -1,0 +1,144 @@
+package oracle
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"qres/internal/boolexpr"
+)
+
+func groundTruth(n int, value func(int) bool) *boolexpr.Valuation {
+	val := boolexpr.NewValuation()
+	for i := 0; i < n; i++ {
+		val.Set(boolexpr.Var(i), value(i))
+	}
+	return val
+}
+
+func TestGroundTruth(t *testing.T) {
+	o := NewGroundTruth(groundTruth(4, func(i int) bool { return i%2 == 0 }))
+	for i := 0; i < 4; i++ {
+		got, err := o.Probe(boolexpr.Var(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (i%2 == 0) {
+			t.Errorf("Probe(%d) = %t", i, got)
+		}
+	}
+	if _, err := o.Probe(boolexpr.Var(99)); err == nil {
+		t.Error("probe outside the valuation must fail")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	o := NewGroundTruth(groundTruth(8, func(int) bool { return true }))
+	r := NewRecorder(o)
+	for i := 7; i >= 0; i-- {
+		if _, err := r.Probe(boolexpr.Var(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Count() != 8 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	probes := r.Probes()
+	if probes[0] != 7 || probes[7] != 0 {
+		t.Errorf("order not preserved: %v", probes)
+	}
+	// Failed probes are not recorded.
+	if _, err := r.Probe(boolexpr.Var(99)); err == nil {
+		t.Fatal("expected error")
+	}
+	if r.Count() != 8 {
+		t.Error("failed probe was recorded")
+	}
+	// Returned slice is a copy.
+	probes[0] = 42
+	if r.Probes()[0] == 42 {
+		t.Error("Probes leaked internal state")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	o := NewGroundTruth(groundTruth(64, func(int) bool { return true }))
+	r := NewRecorder(o)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := r.Probe(boolexpr.Var(i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Count() != 64 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestNoisyRates(t *testing.T) {
+	truth := groundTruth(2000, func(int) bool { return true })
+
+	// Rate 0: transparent.
+	clean := NewNoisy(NewGroundTruth(truth), 0, 1)
+	for i := 0; i < 100; i++ {
+		got, err := clean.Probe(boolexpr.Var(i))
+		if err != nil || !got {
+			t.Fatal("rate-0 noisy oracle flipped an answer")
+		}
+	}
+	// Rate 1: always flipped.
+	always := NewNoisy(NewGroundTruth(truth), 1, 1)
+	for i := 0; i < 100; i++ {
+		if got, _ := always.Probe(boolexpr.Var(i)); got {
+			t.Fatal("rate-1 noisy oracle did not flip")
+		}
+	}
+	// Rate 0.3: empirical flip fraction within a loose tolerance.
+	noisy := NewNoisy(NewGroundTruth(truth), 0.3, 7)
+	flips := 0
+	for i := 0; i < 2000; i++ {
+		if got, _ := noisy.Probe(boolexpr.Var(i)); !got {
+			flips++
+		}
+	}
+	if frac := float64(flips) / 2000; frac < 0.2 || frac > 0.4 {
+		t.Errorf("flip fraction = %f, want ~0.3", frac)
+	}
+	// Errors pass through unflipped.
+	if _, err := noisy.Probe(boolexpr.Var(9999)); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestNoisyDeterministic(t *testing.T) {
+	truth := groundTruth(100, func(int) bool { return true })
+	a := NewNoisy(NewGroundTruth(truth), 0.5, 99)
+	b := NewNoisy(NewGroundTruth(truth), 0.5, 99)
+	for i := 0; i < 100; i++ {
+		av, _ := a.Probe(boolexpr.Var(i))
+		bv, _ := b.Probe(boolexpr.Var(i))
+		if av != bv {
+			t.Fatal("same seed must flip identically")
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	truth := groundTruth(4, func(int) bool { return true })
+	delay := 5 * time.Millisecond
+	o := NewLatency(NewGroundTruth(truth), delay)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := o.Probe(boolexpr.Var(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 4*delay {
+		t.Errorf("4 probes took %v, want >= %v", elapsed, 4*delay)
+	}
+}

@@ -1,0 +1,61 @@
+package resolve
+
+import "fmt"
+
+// Combine balances a probe's Boolean-evaluation utility u against its
+// expected uncertainty reduction v (paper Section 6). Every provided
+// function satisfies the two desiderata: Monotonicity (better on both
+// axes never ranks lower) and ε-Convergence to Utility (once uncertainty
+// reduction is uniformly small, ranking follows utility alone).
+type Combine struct {
+	name string
+	f    func(u, v float64) float64
+}
+
+// Name returns the combination function's display name.
+func (c Combine) Name() string { return c.name }
+
+// Eval applies the combination function.
+func (c Combine) Eval(u, v float64) float64 {
+	if c.f == nil {
+		return u // zero value: utility only
+	}
+	return c.f(u, v)
+}
+
+// CombineProduct is f(u,v) = u·(v+1), the paper's empirically best choice:
+// it converges to the utility score as the model stabilizes (v→0) while
+// still boosting model-improving probes early on.
+func CombineProduct() Combine {
+	return Combine{name: "u*(v+1)", f: func(u, v float64) float64 { return u * (v + 1) }}
+}
+
+// CombineLinear is f(u,v) = αu + βv, the linear combination common in
+// Information Retrieval score fusion.
+func CombineLinear(alpha, beta float64) Combine {
+	return Combine{
+		name: fmt.Sprintf("%g*u+%g*v", alpha, beta),
+		f:    func(u, v float64) float64 { return alpha*u + beta*v },
+	}
+}
+
+// CombineUtilityOnly is f(u,v) = u, which vacuously satisfies both
+// desiderata; it is what EP and Offline configurations use.
+func CombineUtilityOnly() Combine {
+	return Combine{name: "u", f: func(u, _ float64) float64 { return u }}
+}
+
+// CombineThreshold is the indicator-based choice: rank by uncertainty
+// (shifted above every utility by maxUtil) while the estimated reduction
+// exceeds theta, and by utility afterwards.
+func CombineThreshold(theta, maxUtil float64) Combine {
+	return Combine{
+		name: fmt.Sprintf("I[v<=%g]u+I[v>%g](v+MAX)", theta, theta),
+		f: func(u, v float64) float64 {
+			if v > theta {
+				return v + maxUtil
+			}
+			return u
+		},
+	}
+}

@@ -1,0 +1,227 @@
+package resolve
+
+import (
+	"qres/internal/boolexpr"
+	"qres/internal/learn"
+	"qres/internal/uncertain"
+)
+
+// LearningMode selects how (and whether) probe-answer probabilities are
+// learned, matching the configurations compared in the paper's Section 7:
+// EP never learns and returns 0.5 for every variable; Offline trains once
+// on the initial repository; Online retrains after every probe answer and
+// additionally scores candidates with LAL.
+type LearningMode uint8
+
+// Learning modes.
+const (
+	LearnEP LearningMode = iota
+	LearnOffline
+	LearnOnline
+)
+
+// String names the mode as in the paper's figures.
+func (m LearningMode) String() string {
+	switch m {
+	case LearnEP:
+		return "EP"
+	case LearnOffline:
+		return "Offline"
+	case LearnOnline:
+		return "LAL"
+	default:
+		return "Learning(?)"
+	}
+}
+
+// ModelKind selects the Learner's classifier.
+type ModelKind uint8
+
+// Classifier choices: random forest (the paper's default) and naive Bayes
+// (its comparison model).
+const (
+	ModelRF ModelKind = iota
+	ModelNB
+)
+
+// String names the model.
+func (m ModelKind) String() string {
+	if m == ModelNB {
+		return "NB"
+	}
+	return "RF"
+}
+
+// probModel is the minimal classifier interface the Learner needs.
+type probModel interface {
+	ProbTrue(x []int32) float64
+}
+
+// Learner is the framework's Learner module (paper Section 4, Figure 3):
+// it trains a classifier on the Known Probes Repository to predict probe
+// answers from tuple metadata, exposes vote-fraction probability estimates
+// for candidate probes, and (in online mode) LAL-based estimates of the
+// uncertainty reduction each probe would yield.
+type Learner struct {
+	mode     LearningMode
+	model    ModelKind
+	db       *uncertain.DB
+	repo     *Repository
+	lal      *learn.LAL
+	trees    int
+	minTrain int
+	seed     int64
+
+	enc        *learn.Encoder
+	clf        probModel
+	forest     *learn.Forest // non-nil iff model == ModelRF and trained
+	retrains   int
+	knownProbs map[boolexpr.Var]float64
+}
+
+// LearnerConfig bundles Learner construction parameters.
+type LearnerConfig struct {
+	Mode  LearningMode
+	Model ModelKind
+	// Trees is the forest size (default 100, as in the paper).
+	Trees int
+	// MinTrain is the repository size below which the Learner falls back
+	// to equal probabilities (the paper uses 20: "we use EP to select
+	// probes until the probes repository is of size at least 20").
+	MinTrain int
+	// LAL scores uncertainty reduction in online mode; nil disables it
+	// (scores become 0 and the selector degenerates to utility-only).
+	LAL *learn.LAL
+	// Seed makes retraining deterministic.
+	Seed int64
+	// KnownProbs, when non-nil, bypasses learning entirely: Prob returns
+	// the mapped value (0.5 for unmapped variables) and Uncertainty is 0.
+	// It models the "probabilities known and independent" setting of the
+	// paper's Section 3 analysis and the experiments that isolate utility
+	// computation from learning (Sections 7.2–7.3).
+	KnownProbs map[boolexpr.Var]float64
+}
+
+// NewLearner builds a Learner over the repository. In Offline and Online
+// modes the classifier is trained immediately from the current repository
+// contents.
+func NewLearner(db *uncertain.DB, repo *Repository, cfg LearnerConfig) *Learner {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 100
+	}
+	if cfg.MinTrain <= 0 {
+		cfg.MinTrain = 20
+	}
+	l := &Learner{
+		mode:       cfg.Mode,
+		model:      cfg.Model,
+		db:         db,
+		repo:       repo,
+		lal:        cfg.LAL,
+		trees:      cfg.Trees,
+		minTrain:   cfg.MinTrain,
+		seed:       cfg.Seed,
+		knownProbs: cfg.KnownProbs,
+	}
+	if l.mode != LearnEP && l.knownProbs == nil {
+		l.retrain()
+	}
+	return l
+}
+
+// Mode returns the learning mode.
+func (l *Learner) Mode() LearningMode { return l.mode }
+
+// Retrains returns how many times the classifier has been (re)trained.
+func (l *Learner) Retrains() int { return l.retrains }
+
+// Trained reports whether a classifier is currently available (enough
+// training data has been seen).
+func (l *Learner) Trained() bool { return l.clf != nil }
+
+// retrain refits the encoder and classifier from the repository. Below
+// MinTrain records the Learner stays untrained (EP behaviour).
+func (l *Learner) retrain() {
+	if l.repo.Len() < l.minTrain {
+		return
+	}
+	l.enc = learn.NewEncoder(l.repo.Metas())
+	data := l.repo.Dataset(l.enc)
+	switch l.model {
+	case ModelNB:
+		l.clf = learn.FitNaiveBayes(data)
+		l.forest = nil
+	default:
+		f := learn.FitForest(data, learn.ForestConfig{Trees: l.trees, Seed: l.seed + int64(l.retrains)})
+		l.clf = f
+		l.forest = f
+	}
+	l.retrains++
+}
+
+// Prob estimates π̃(x): the probability the oracle would answer True for
+// the tuple labeled by v. Untrained learners (EP mode, or too little data)
+// return the uninformed 0.5.
+func (l *Learner) Prob(v boolexpr.Var) float64 {
+	if l.knownProbs != nil {
+		if p, ok := l.knownProbs[v]; ok {
+			return p
+		}
+		return 0.5
+	}
+	if l.mode == LearnEP || l.clf == nil {
+		return 0.5
+	}
+	return l.clf.ProbTrue(l.enc.Encode(l.db.MetaFor(v)))
+}
+
+// Uncertainty estimates the expected reduction in the Learner's
+// generalization error from probing v (Sub-step 4.1's second output).
+// It is zero outside online mode, when no LAL regressor is configured, or
+// while the classifier is untrained — in all of which cases the Probe
+// Selector effectively ranks by utility alone.
+func (l *Learner) Uncertainty(v boolexpr.Var) float64 {
+	if l.knownProbs != nil || l.mode != LearnOnline || l.lal == nil || l.forest == nil {
+		return 0
+	}
+	x := l.enc.Encode(l.db.MetaFor(v))
+	return l.lal.Score(l.forest, l.repo.Len(), positiveFraction(l.repo), x)
+}
+
+// Observe records a probe answer in the repository and, in online mode,
+// retrains the classifier — the paper's Step 5 followed by the iterative
+// return to Step 3.
+func (l *Learner) Observe(v boolexpr.Var, answer bool) {
+	l.repo.AddVar(v, l.db.MetaFor(v), answer)
+	if l.mode == LearnOnline && l.knownProbs == nil {
+		l.retrain()
+	}
+}
+
+// FeatureImportances exposes the trained forest's mean-decrease-in-
+// impurity importances keyed by attribute name (Section 7.4's analysis),
+// or nil when unavailable.
+func (l *Learner) FeatureImportances() map[string]float64 {
+	if l.forest == nil || l.enc == nil {
+		return nil
+	}
+	imp := l.forest.FeatureImportances()
+	out := make(map[string]float64, len(imp))
+	for i, v := range imp {
+		out[l.enc.Attr(i)] = v
+	}
+	return out
+}
+
+func positiveFraction(r *Repository) float64 {
+	if r.Len() == 0 {
+		return 0.5
+	}
+	n := 0
+	for _, rec := range r.Records() {
+		if rec.Answer {
+			n++
+		}
+	}
+	return float64(n) / float64(r.Len())
+}

@@ -1,0 +1,93 @@
+package resolve
+
+import (
+	"sync"
+
+	"qres/internal/boolexpr"
+	"qres/internal/engine"
+	"qres/internal/stats"
+	"qres/internal/uncertain"
+)
+
+// ParallelOutcome extends Outcome with the parallelism metrics of the
+// paper's Section 6 discussion: variable-disjoint expression components
+// are resolved by concurrent independent sessions without changing each
+// component's probe choices, so the total probe count is preserved while
+// wall-clock latency drops to roughly the largest component's.
+type ParallelOutcome struct {
+	Outcome
+	// Components is the number of variable-disjoint groups resolved
+	// concurrently.
+	Components int
+	// CriticalPathProbes is the maximum probe count over components: the
+	// number of sequential oracle rounds when each component probes
+	// independently in parallel.
+	CriticalPathProbes int
+}
+
+// ResolveParallel partitions the result's provenance expressions into
+// variable-disjoint components and resolves each concurrently with an
+// independent sub-session (Section 6, "Parallel probe selection"). The
+// oracle must be safe for concurrent use. Each sub-session starts from a
+// clone of the seeded repository: learning proceeds per component, which
+// is the price of concurrency (cross-component probe answers are not
+// shared mid-flight).
+func ResolveParallel(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repository, cfg Config) (*ParallelOutcome, error) {
+	if repo == nil {
+		repo = NewRepository()
+	}
+	exprs := result.Provenance()
+	groups := boolexpr.Components(exprs)
+
+	// Rows whose expressions are already decided (constant provenance)
+	// belong to no component; resolve their status directly.
+	answers := make([]RowAnswer, len(result.Rows))
+	for i := range answers {
+		answers[i] = RowAnswer{Row: i, Correct: exprs[i].IsTrue()}
+	}
+
+	type compResult struct {
+		rows    []int
+		outcome *Outcome
+		err     error
+	}
+	results := make([]compResult, len(groups))
+	var wg sync.WaitGroup
+	for g, rowIdxs := range groups {
+		wg.Add(1)
+		go func(g int, rowIdxs []int) {
+			defer wg.Done()
+			sub := &engine.Result{Columns: result.Columns}
+			for _, r := range rowIdxs {
+				sub.Rows = append(sub.Rows, result.Rows[r])
+			}
+			subCfg := cfg
+			subCfg.Seed = stats.SubSeed(cfg.Seed, g)
+			sess, err := NewSession(db, sub, orc, repo.Clone(), subCfg)
+			if err != nil {
+				results[g] = compResult{err: err}
+				return
+			}
+			out, err := sess.Run()
+			results[g] = compResult{rows: rowIdxs, outcome: out, err: err}
+		}(g, rowIdxs)
+	}
+	wg.Wait()
+
+	total := &ParallelOutcome{Components: len(groups)}
+	for _, cr := range results {
+		if cr.err != nil {
+			return nil, cr.err
+		}
+		for i, a := range cr.outcome.Answers {
+			answers[cr.rows[i]].Correct = a.Correct
+		}
+		total.Probes += cr.outcome.Probes
+		if cr.outcome.Probes > total.CriticalPathProbes {
+			total.CriticalPathProbes = cr.outcome.Probes
+		}
+	}
+	total.Answers = answers
+	total.Stats = &Stats{Probes: total.Probes}
+	return total, nil
+}

@@ -1,0 +1,77 @@
+package resolve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qres/internal/boolexpr"
+)
+
+// Repository persistence: the paper's Known Probes Repository outlives a
+// single session — answers collected for one query seed the Learner for
+// the next (Section 4). SaveJSON/LoadJSON serialize the repository as
+// JSONL, one probe record per line.
+//
+// Variable identifiers are only meaningful relative to the uncertain
+// database they were allocated for; records therefore persist the
+// variable's registry name, and loading binds names back to variables via
+// the caller-supplied resolver (or keeps records metadata-only when a name
+// no longer resolves, which still makes them Learner training data).
+
+type jsonProbe struct {
+	Var    string            `json:"var,omitempty"`
+	Meta   map[string]string `json:"meta,omitempty"`
+	Answer bool              `json:"answer"`
+}
+
+// SaveJSON writes the repository; name maps variables to stable names
+// (typically Registry.Name of the owning uncertain database).
+func (r *Repository) SaveJSON(w io.Writer, name func(boolexpr.Var) string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range r.records {
+		jp := jsonProbe{Meta: rec.Meta, Answer: rec.Answer}
+		if rec.HasVar && name != nil {
+			jp.Var = name(rec.Var)
+		}
+		if err := enc.Encode(jp); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadJSON reads records written by SaveJSON into a new repository.
+// resolve maps stable names back to variables; records whose name does not
+// resolve (or when resolve is nil) are kept as metadata-only training
+// examples.
+func LoadJSON(rd io.Reader, resolve func(name string) (boolexpr.Var, bool)) (*Repository, error) {
+	repo := NewRepository()
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jp jsonProbe
+		if err := json.Unmarshal(raw, &jp); err != nil {
+			return nil, fmt.Errorf("resolve: probes line %d: %w", line, err)
+		}
+		if jp.Var != "" && resolve != nil {
+			if v, ok := resolve(jp.Var); ok {
+				repo.AddVar(v, jp.Meta, jp.Answer)
+				continue
+			}
+		}
+		repo.Add(jp.Meta, jp.Answer)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return repo, nil
+}

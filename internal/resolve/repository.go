@@ -1,0 +1,98 @@
+// Package resolve implements the paper's primary contribution: the
+// query-guided uncertainty-resolution framework (Sections 4–6). Given the
+// provenance-annotated answer of an SPJU query over an uncertain database
+// and an oracle revealing tuple correctness, a Session iteratively selects
+// oracle probes — combining learned answer probabilities, Boolean-
+// evaluation utility functions (Q-Value, RO, General) and active-learning
+// uncertainty reduction (LAL) — until the truth value of every provenance
+// expression, and hence the exact ground-truth query answer, is decided.
+package resolve
+
+import (
+	"qres/internal/boolexpr"
+	"qres/internal/learn"
+)
+
+// ProbeRecord is one resolved tuple: its metadata and the oracle's answer.
+// The variable is recorded when known (probes of the current database);
+// initial repository entries imported from other sessions may carry only
+// metadata and answer.
+type ProbeRecord struct {
+	Var    boolexpr.Var
+	HasVar bool
+	Meta   map[string]string
+	Answer bool
+}
+
+// Repository is the Known Probes Repository (paper Figure 3): the set of
+// tuples whose correctness was already revealed, with their metadata. It
+// is the Learner's training set, seeded before a session with probes of
+// tuples outside the query provenance (Section 7.1: 1280 by default) and
+// extended with every answer obtained during resolution.
+type Repository struct {
+	records []ProbeRecord
+	byVar   map[boolexpr.Var]bool // answers of variable-bearing records
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{byVar: make(map[boolexpr.Var]bool)}
+}
+
+// Add records an answer for a tuple identified only by metadata (initial,
+// off-provenance training probes).
+func (r *Repository) Add(meta map[string]string, answer bool) {
+	r.records = append(r.records, ProbeRecord{Meta: meta, Answer: answer})
+}
+
+// AddVar records an answer for the tuple labeled by v.
+func (r *Repository) AddVar(v boolexpr.Var, meta map[string]string, answer bool) {
+	r.records = append(r.records, ProbeRecord{Var: v, HasVar: true, Meta: meta, Answer: answer})
+	r.byVar[v] = answer
+}
+
+// Answer reports the recorded answer for v, if any. Sessions consult it in
+// Step 3 to plug in truth values known from previous probes (possibly of
+// other queries) before issuing any new ones.
+func (r *Repository) Answer(v boolexpr.Var) (answer, known bool) {
+	answer, known = r.byVar[v]
+	return answer, known
+}
+
+// Len returns the number of records.
+func (r *Repository) Len() int { return len(r.records) }
+
+// Records returns all records; the slice must not be modified.
+func (r *Repository) Records() []ProbeRecord { return r.records }
+
+// Metas returns the metadata of all records, the input for fitting a
+// feature encoder.
+func (r *Repository) Metas() []map[string]string {
+	out := make([]map[string]string, len(r.records))
+	for i, rec := range r.records {
+		out[i] = rec.Meta
+	}
+	return out
+}
+
+// Dataset encodes the repository into a training set under enc.
+func (r *Repository) Dataset(enc *learn.Encoder) *learn.Dataset {
+	d := &learn.Dataset{}
+	for _, rec := range r.records {
+		d.Add(enc.Encode(rec.Meta), rec.Answer)
+	}
+	return d
+}
+
+// Clone returns an independent copy, so experiments can reuse one seeded
+// repository across algorithm configurations without cross-contamination.
+func (r *Repository) Clone() *Repository {
+	out := &Repository{
+		records: append([]ProbeRecord(nil), r.records...),
+		byVar:   make(map[boolexpr.Var]bool, len(r.byVar)),
+	}
+	for k, v := range r.byVar {
+		out.byVar[k] = v
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package resolve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"qres/internal/boolexpr"
+	"qres/internal/engine"
+	"qres/internal/learn"
+	"qres/internal/stats"
+	"qres/internal/uncertain"
+)
+
+// Oracle reveals the ground-truth correctness val*(x) of the tuple labeled
+// by a variable (paper Section 2.2). Implementations live in
+// internal/oracle: ground-truth lookup, noisy and latency-simulating
+// wrappers.
+type Oracle interface {
+	Probe(v boolexpr.Var) (bool, error)
+}
+
+// Baseline selects one of the paper's non-framework baselines; with
+// BaselineNone the Config's Utility drives a full framework instantiation.
+type Baseline uint8
+
+// Baselines of Section 7.1.
+const (
+	BaselineNone Baseline = iota
+	BaselineRandom
+	BaselineGreedy
+	BaselineLALOnly
+)
+
+// Config assembles a resolution-session configuration: either a baseline,
+// or a (utility function × learning mode × combination function) framework
+// instantiation as compared throughout the paper's Section 7.
+type Config struct {
+	// Utility is the utility function (QValue{}, RO{}, General{}) of a
+	// framework instantiation. Ignored when Baseline is set.
+	Utility Utility
+	// Baseline selects Random / Greedy / LAL-only instead of a utility.
+	Baseline Baseline
+	// Learning is the probability-learning mode (EP / Offline / Online).
+	Learning LearningMode
+	// Model is the Learner's classifier (random forest by default).
+	Model ModelKind
+	// Combine balances utility and uncertainty reduction. The zero value
+	// defaults to u·(v+1) in online mode and utility-only otherwise,
+	// matching the paper's defaults.
+	Combine *Combine
+	// Trees is the forest size (default 100).
+	Trees int
+	// MinTrain is the repository size below which probabilities stay at
+	// 0.5 (default 20).
+	MinTrain int
+	// LAL is the uncertainty-reduction regressor; nil defaults to the
+	// shared pre-trained instance in online mode.
+	LAL *learn.LAL
+	// KnownProbs, when non-nil, gives the session the true per-variable
+	// probabilities and disables learning — the "known and independent
+	// probabilities" setting used to isolate utility computation.
+	KnownProbs map[boolexpr.Var]float64
+	// Costs assigns per-variable verification costs (default 1.0 for
+	// unlisted variables); the session's Stats accumulate total cost
+	// alongside the probe count.
+	Costs map[boolexpr.Var]float64
+	// CostAware makes the Probe Selector rank candidates by combined
+	// score per unit cost — the cost-aware probe selection the paper's
+	// Section 9 sketches as future work ("validation of some tuples may
+	// require more effort than the validation of others"). Without it,
+	// Costs is accounting-only.
+	CostAware bool
+	// Seed drives every random choice in the session.
+	Seed int64
+
+	// DisableSplitting turns off expression splitting entirely; sessions
+	// whose utility needs CNF then fail on oversized expressions.
+	DisableSplitting bool
+	// SplitAll splits every expression larger than SplitMaxTerms, even
+	// when its CNF would fit (the Figure 8 "with splitting" setting for
+	// CNF-free algorithms).
+	SplitAll bool
+	// SplitMaxTerms is the bound B on terms per split part (default 8).
+	SplitMaxTerms int
+	// CNFClauseBound caps CNF size; expressions exceeding it are split
+	// (default 4096 clauses).
+	CNFClauseBound int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SplitMaxTerms <= 0 {
+		c.SplitMaxTerms = 8
+	}
+	if c.CNFClauseBound <= 0 {
+		c.CNFClauseBound = 4096
+	}
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.LAL == nil && c.Learning == LearnOnline && c.KnownProbs == nil &&
+		c.Baseline != BaselineGreedy && c.Baseline != BaselineRandom {
+		c.LAL = learn.SharedLAL()
+	}
+	return c
+}
+
+// Name renders the configuration as the paper's figures label it, e.g.
+// "Q-Value+LAL", "RO+EP", "General+Offline", "Random", "Greedy".
+func (c Config) Name() string {
+	switch c.Baseline {
+	case BaselineRandom:
+		return "Random"
+	case BaselineGreedy:
+		return "Greedy"
+	case BaselineLALOnly:
+		return "LAL only"
+	}
+	u := "?"
+	if c.Utility != nil {
+		u = c.Utility.Name()
+	}
+	return fmt.Sprintf("%s+%s", u, c.Learning)
+}
+
+// Stats collects per-session counters and the per-component timing
+// distributions reported in the paper's Table 4.
+type Stats struct {
+	// Probes is the number of oracle calls issued, the paper's primary
+	// metric.
+	Probes int
+	// Cost is the total verification cost (equals Probes when no Costs
+	// map is configured).
+	Cost float64
+	// KnownReused counts variables resolved from the repository without
+	// an oracle call (Step 3).
+	KnownReused int
+	// Learner, LAL, Utility and Selector time each framework component
+	// per probe selection.
+	Learner  stats.Timer
+	LAL      stats.Timer
+	Utility  stats.Timer
+	Selector stats.Timer
+}
+
+// RowAnswer is the resolved status of one output row.
+type RowAnswer struct {
+	Row     int  // index into the query result's rows
+	Correct bool // ground-truth membership in Q(D_val*)
+}
+
+// Outcome is the final result of a resolution session: the exact
+// ground-truth answer set and the cost of obtaining it.
+type Outcome struct {
+	// Answers has one entry per output row of the query result.
+	Answers []RowAnswer
+	// Probes is the number of oracle calls issued.
+	Probes int
+	// Stats are the detailed session statistics.
+	Stats *Stats
+}
+
+// CorrectRows returns the indices of rows decided correct, i.e. the exact
+// ground-truth answer set Q(D_val*) as row indices.
+func (o *Outcome) CorrectRows() []int {
+	var out []int
+	for _, a := range o.Answers {
+		if a.Correct {
+			out = append(out, a.Row)
+		}
+	}
+	return out
+}
+
+// Session is one run of the iterative resolution process (framework Steps
+// 3–5) for a fixed query result, oracle and configuration.
+type Session struct {
+	db       *uncertain.DB
+	result   *engine.Result
+	oracle   Oracle
+	repo     *Repository
+	learner  *Learner
+	strategy Strategy
+	cfg      Config
+
+	work  *workset
+	val   *boolexpr.Valuation // accumulated answers for provenance variables
+	rng   *rand.Rand
+	round int
+	stats Stats
+	err   error
+}
+
+// NewSession prepares a resolution session. The repository seeds the
+// Learner and supplies already-known answers, which are substituted into
+// the provenance before any oracle call; the repository is extended in
+// place as the session probes, so passing a shared repository across
+// sessions models the paper's accumulation of probe answers over time
+// (clone it to isolate runs).
+func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repository, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Baseline == BaselineNone && cfg.Utility == nil {
+		return nil, errors.New("resolve: config needs a Utility or a Baseline")
+	}
+	if repo == nil {
+		repo = NewRepository()
+	}
+	s := &Session{
+		db:     db,
+		result: result,
+		oracle: orc,
+		repo:   repo,
+		cfg:    cfg,
+		val:    boolexpr.NewValuation(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+
+	s.learner = NewLearner(db, repo, LearnerConfig{
+		Mode:       cfg.Learning,
+		Model:      cfg.Model,
+		Trees:      cfg.Trees,
+		MinTrain:   cfg.MinTrain,
+		LAL:        cfg.LAL,
+		Seed:       cfg.Seed,
+		KnownProbs: cfg.KnownProbs,
+	})
+
+	switch cfg.Baseline {
+	case BaselineRandom:
+		s.strategy = randomStrategy{rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	case BaselineGreedy:
+		s.strategy = greedyStrategy{}
+	case BaselineLALOnly:
+		s.strategy = lalOnlyStrategy{}
+	default:
+		combine := CombineUtilityOnly()
+		if cfg.Combine != nil {
+			combine = *cfg.Combine
+		} else if cfg.Learning == LearnOnline {
+			combine = CombineProduct()
+		}
+		s.strategy = utilityStrategy{util: cfg.Utility, combine: combine}
+	}
+
+	// Step 3: plug in truth values already known from previous probes.
+	exprs := result.Provenance()
+	known := boolexpr.NewValuation()
+	for _, e := range exprs {
+		for _, v := range e.Vars() {
+			if ans, ok := repo.Answer(v); ok {
+				known.Set(v, ans)
+				s.val.Set(v, ans)
+				s.stats.KnownReused++
+			}
+		}
+	}
+
+	needCNF := s.strategy.NeedsCNF()
+	parts, partOf := prepareExpressions(
+		exprs, known,
+		!cfg.DisableSplitting, cfg.SplitAll, needCNF,
+		cfg.SplitMaxTerms, cfg.CNFClauseBound,
+		s.rng,
+	)
+	work, err := newWorkset(parts, partOf, needCNF, cfg.CNFClauseBound)
+	if err != nil {
+		return nil, err
+	}
+	s.work = work
+	return s, nil
+}
+
+// Name returns the configuration's display name.
+func (s *Session) Name() string { return s.cfg.Name() }
+
+// Done reports whether every provenance expression is decided.
+func (s *Session) Done() bool { return s.work.done() }
+
+// Stats returns the live session statistics.
+func (s *Session) Stats() *Stats { return &s.stats }
+
+// Learner exposes the session's Learner (for feature-importance analysis).
+func (s *Session) Learner() *Learner { return s.learner }
+
+// Valuation returns the partial valuation accumulated so far. The returned
+// valuation must not be modified.
+func (s *Session) Valuation() *boolexpr.Valuation { return s.val }
+
+// Step performs one iteration: select a probe, ask the oracle, record the
+// answer, and simplify. It reports whether the session is done after the
+// step. Calling Step on a finished session is a no-op returning done=true.
+func (s *Session) Step() (probed boolexpr.Var, done bool, err error) {
+	if s.err != nil {
+		return 0, true, s.err
+	}
+	if s.work.done() {
+		return 0, true, nil
+	}
+	candidates := s.work.candidates()
+	if len(candidates) == 0 {
+		// Cannot happen for sound worksets: undecided expressions always
+		// contain variables.
+		s.err = errors.New("resolve: undecided expressions but no candidates")
+		return 0, true, s.err
+	}
+
+	v, err := s.strategy.next(s, candidates)
+	if err != nil {
+		s.err = err
+		return 0, true, err
+	}
+	if s.val.Assigned(v) {
+		s.err = fmt.Errorf("resolve: strategy re-probed variable %d", v)
+		return 0, true, s.err
+	}
+
+	answer, err := s.oracle.Probe(v)
+	if err != nil {
+		s.err = fmt.Errorf("resolve: oracle probe failed: %w", err)
+		return 0, true, s.err
+	}
+	s.stats.Probes++
+	s.stats.Cost += s.cost(v)
+	s.val.Set(v, answer)
+	s.learner.Observe(v, answer) // Step 5 + online retraining
+
+	if _, err := s.work.applyProbe(v, answer); err != nil {
+		s.err = err
+		return 0, true, err
+	}
+	s.round++
+	return v, s.work.done(), nil
+}
+
+// Run drives the session to completion and returns the outcome: the exact
+// resolved answer set and the probe count. The algorithms are "correct by
+// design" (paper Section 7.1) — they stop only when every expression is
+// decided.
+func (s *Session) Run() (*Outcome, error) {
+	for !s.work.done() {
+		if _, _, err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.outcome(), nil
+}
+
+// RowStatus is the live resolution status of one output row.
+type RowStatus uint8
+
+// Row statuses reported by Snapshot.
+const (
+	// RowUnknown: the row's provenance is not yet decided.
+	RowUnknown RowStatus = iota
+	// RowCorrect: the row is certainly a ground-truth answer.
+	RowCorrect
+	// RowIncorrect: the row is certainly not a ground-truth answer.
+	RowIncorrect
+)
+
+// String renders the status.
+func (s RowStatus) String() string {
+	switch s {
+	case RowCorrect:
+		return "correct"
+	case RowIncorrect:
+		return "incorrect"
+	default:
+		return "unknown"
+	}
+}
+
+// Snapshot reports the current resolution status of every output row —
+// the paper's interactive view ("at each point of this iterative process,
+// the user can view the current subset of query results determined to be
+// (in)correct"). It can be called between Step invocations.
+func (s *Session) Snapshot() []RowStatus {
+	states := s.work.rowStatus(len(s.result.Rows))
+	out := make([]RowStatus, len(states))
+	for i, st := range states {
+		switch st {
+		case rowTrue:
+			out[i] = RowCorrect
+		case rowFalse:
+			out[i] = RowIncorrect
+		default:
+			out[i] = RowUnknown
+		}
+	}
+	return out
+}
+
+// cost returns the verification cost of probing v (1 by default).
+func (s *Session) cost(v boolexpr.Var) float64 {
+	if s.cfg.Costs == nil {
+		return 1
+	}
+	if c, ok := s.cfg.Costs[v]; ok && c > 0 {
+		return c
+	}
+	return 1
+}
+
+// outcome aggregates part statuses back to output-row answers.
+func (s *Session) outcome() *Outcome {
+	states := s.work.rowStatus(len(s.result.Rows))
+	answers := make([]RowAnswer, len(states))
+	for i, st := range states {
+		answers[i] = RowAnswer{Row: i, Correct: st == rowTrue}
+	}
+	return &Outcome{Answers: answers, Probes: s.stats.Probes, Stats: &s.stats}
+}

@@ -1,0 +1,139 @@
+package resolve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qres/internal/boolexpr"
+)
+
+// Strategy selects the next variable to probe among the candidates of the
+// current round. The framework instantiations (utility × learning mode ×
+// combination function) and the paper's baselines (Random, Greedy,
+// LAL-only) all implement it.
+type Strategy interface {
+	// Name identifies the strategy in reports ("Q-Value+LAL", "Greedy", ...).
+	Name() string
+	// NeedsCNF reports whether the session must maintain CNFs.
+	NeedsCNF() bool
+	// next picks one of candidates; candidates is non-empty and sorted.
+	next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error)
+}
+
+// randomStrategy probes variables in a random order (baseline).
+type randomStrategy struct{ rng *rand.Rand }
+
+func (randomStrategy) Name() string   { return "Random" }
+func (randomStrategy) NeedsCNF() bool { return false }
+func (r randomStrategy) next(_ *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
+	return candidates[r.rng.Intn(len(candidates))], nil
+}
+
+// greedyStrategy probes the variable with the most occurrences in the
+// (current, simplified) DNF provenance (baseline). It accounts for the
+// Boolean structure but ignores probabilities.
+type greedyStrategy struct{}
+
+func (greedyStrategy) Name() string   { return "Greedy" }
+func (greedyStrategy) NeedsCNF() bool { return false }
+func (greedyStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
+	counts := make(map[boolexpr.Var]int)
+	for _, e := range s.work.exprs {
+		if e.Decided() {
+			continue
+		}
+		for _, t := range e.Terms() {
+			for _, v := range t {
+				counts[v]++
+			}
+		}
+	}
+	best, bestCount := candidates[0], -1
+	for _, v := range candidates {
+		if c := counts[v]; c > bestCount {
+			best, bestCount = v, c
+		}
+	}
+	return best, nil
+}
+
+// lalOnlyStrategy ranks purely by the Learner's uncertainty-reduction
+// estimate, i.e. standard active learning with no Boolean-evaluation
+// signal (the paper's "LAL only" baseline, which performs poorly).
+type lalOnlyStrategy struct{}
+
+func (lalOnlyStrategy) Name() string   { return "LAL only" }
+func (lalOnlyStrategy) NeedsCNF() bool { return false }
+func (lalOnlyStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
+	best, bestScore := candidates[0], -1.0
+	for _, v := range candidates {
+		var score float64
+		s.stats.LAL.Time(func() { score = s.learner.Uncertainty(v) })
+		if score > bestScore {
+			best, bestScore = v, score
+		}
+	}
+	return best, nil
+}
+
+// utilityStrategy is a full framework instantiation: Learner probabilities
+// feed a utility function, LAL scores uncertainty reduction, and the Probe
+// Selector combines them with a Combine function (Steps 4.1–4.3).
+type utilityStrategy struct {
+	util    Utility
+	combine Combine
+}
+
+func (u utilityStrategy) Name() string {
+	return fmt.Sprintf("%s+%s", u.util.Name(), "?") // overridden by Session.Name
+}
+
+func (u utilityStrategy) NeedsCNF() bool { return u.util.NeedsCNF() }
+
+func (u utilityStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
+	// Sub-step 4.1a: probability estimation, timed as "Learner".
+	probs := make(map[boolexpr.Var]float64, len(candidates))
+	s.stats.Learner.Time(func() {
+		for _, v := range candidates {
+			probs[v] = s.learner.Prob(v)
+		}
+	})
+
+	// Sub-step 4.2: utility computation, timed under the utility's name.
+	var scores map[boolexpr.Var]float64
+	s.stats.Utility.Time(func() {
+		scores = u.util.Scores(s.work,
+			func(v boolexpr.Var) float64 { return probs[v] },
+			candidates, s.round)
+	})
+
+	// Sub-step 4.1b: uncertainty reduction (LAL), timed separately.
+	uncertainty := make(map[boolexpr.Var]float64, len(candidates))
+	if s.learner.Mode() == LearnOnline {
+		s.stats.LAL.Time(func() {
+			for _, v := range candidates {
+				uncertainty[v] = s.learner.Uncertainty(v)
+			}
+		})
+	}
+
+	// Sub-step 4.3: the Probe Selector combines and picks the argmax,
+	// breaking ties by smallest variable for determinism. In cost-aware
+	// mode candidates are ranked by score per unit cost (the Section 9
+	// extension).
+	var best boolexpr.Var
+	s.stats.Selector.Time(func() {
+		bestScore := 0.0
+		first := true
+		for _, v := range candidates {
+			f := u.combine.Eval(scores[v], uncertainty[v])
+			if s.cfg.CostAware {
+				f /= s.cost(v)
+			}
+			if first || f > bestScore {
+				best, bestScore, first = v, f, false
+			}
+		}
+	})
+	return best, nil
+}

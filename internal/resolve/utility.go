@@ -1,0 +1,194 @@
+package resolve
+
+import (
+	"sort"
+
+	"qres/internal/boolexpr"
+)
+
+// roEpsilon is the ε of the paper's Formula (2): a small positive constant
+// keeping α finite when the minimal term weight is 0.
+const roEpsilon = 1e-6
+
+// Utility assigns numeric scores to candidate probes, quantifying each
+// probe's expected contribution towards evaluating the Boolean provenance
+// expressions (paper Section 5). The three implementations recast the
+// Interactive Boolean Evaluation algorithms of [28], [15]/[31] and [4] as
+// score functions: for any expressions and probabilities, the probe the
+// original algorithm would choose receives the highest score.
+type Utility interface {
+	// Name is the paper's name for the function ("Q-Value", "RO",
+	// "General").
+	Name() string
+	// NeedsCNF reports whether the function requires per-expression CNFs
+	// (only Q-Value does; large expressions are then split first).
+	NeedsCNF() bool
+	// Scores computes the round's utility for every candidate. prob gives
+	// the Learner's current estimate π̃; round counts selection rounds
+	// from 0 (the General utility alternates its two sub-functions on it).
+	Scores(w *workset, prob func(boolexpr.Var) float64, candidates []boolexpr.Var, round int) map[boolexpr.Var]float64
+}
+
+// QValue is the paper's Formula (1): the expected drop in the nt·nc
+// product (DNF terms × CNF clauses) over all expressions containing the
+// candidate. It is maximal for probes guaranteed to decide expressions —
+// either count reaching 0 zeroes the product — and balances proving True
+// (clauses vanish) against proving False (terms vanish). Derived from the
+// Stochastic Boolean Function Evaluation analysis of Deshpande,
+// Hellerstein and Kletenik [28].
+type QValue struct{}
+
+// Name implements Utility.
+func (QValue) Name() string { return "Q-Value" }
+
+// NeedsCNF implements Utility: Q-Value is the one CNF-dependent function.
+func (QValue) NeedsCNF() bool { return true }
+
+// Scores implements Utility.
+func (QValue) Scores(w *workset, prob func(boolexpr.Var) float64, candidates []boolexpr.Var, _ int) map[boolexpr.Var]float64 {
+	out := make(map[boolexpr.Var]float64, len(candidates))
+	for _, v := range candidates {
+		p := prob(v)
+		var score float64
+		for _, i := range w.exprsWith(v) {
+			e, cnf := w.exprs[i], w.cnfs[i]
+			nt, nc := float64(e.NumTerms()), float64(cnf.NumClauses())
+			ntT, ncT, ntF, ncF := e.AssumeCounts(cnf, v)
+			score += nt*nc -
+				p*float64(ntT)*float64(ncT) -
+				(1-p)*float64(ntF)*float64(ncF)
+		}
+		out[v] = score
+	}
+	return out
+}
+
+// RO is the paper's Formula (2): highest for the variables least likely to
+// be True inside the DNF terms most likely to be True, across all
+// expressions. Such variables make progress in both directions — verifying
+// the likeliest term proves an expression True; a False answer eliminates
+// the variable's term. The term weight W(T) = (1/|T|)·Π π̃(x) divides the
+// term's truth probability by the probes needed to evaluate it; the factor
+// α = (1+ε)/(ε + min_T W(T)) guarantees that term weight dominates the
+// (1−π̃) tie-breaker. Recast from Boros and Ünlüyurt's read-once algorithm
+// [15] as extended to multiple expressions in [31].
+type RO struct{}
+
+// Name implements Utility.
+func (RO) Name() string { return "RO" }
+
+// NeedsCNF implements Utility.
+func (RO) NeedsCNF() bool { return false }
+
+// Scores implements Utility.
+func (RO) Scores(w *workset, prob func(boolexpr.Var) float64, candidates []boolexpr.Var, _ int) map[boolexpr.Var]float64 {
+	return roScores(w, prob, candidates)
+}
+
+// weightGapTolerance is the resolution below which term weights count as
+// tied when sizing α.
+const weightGapTolerance = 1e-12
+
+// roScores is Formula (2), shared by RO and the alternating General.
+func roScores(w *workset, prob func(boolexpr.Var) float64, candidates []boolexpr.Var) map[boolexpr.Var]float64 {
+	// bestTermWeight[v] = max weight of any term containing v; weights
+	// collects every undecided term's weight for sizing α.
+	bestTermWeight := make(map[boolexpr.Var]float64, len(candidates))
+	var weights []float64
+	for _, e := range w.exprs {
+		if e.Decided() {
+			continue
+		}
+		for _, t := range e.Terms() {
+			weight := 1.0
+			for _, x := range t {
+				weight *= prob(x)
+			}
+			weight /= float64(len(t))
+			weights = append(weights, weight)
+			for _, x := range t {
+				if weight > bestTermWeight[x] {
+					bestTermWeight[x] = weight
+				}
+			}
+		}
+	}
+
+	// α must satisfy two dominance requirements from the paper's Formula
+	// (2) discussion: α·(W(T)+ε) > 1 for every term, so the weight summand
+	// always beats the (1−π̃) ≤ 1 tie-breaker — giving α ≥ (1+ε)/(ε+minW) —
+	// and, for "utility is strictly greater for variables occurring in
+	// terms with maximal weight" to hold, α·ΔW > 1 for every positive gap
+	// ΔW between distinct term weights — giving α > 1/gap for the smallest
+	// positive gap (weights within weightGapTolerance count as tied).
+	minW, gap := weightStats(weights)
+	alpha := (1 + roEpsilon) / (roEpsilon + minW)
+	if gap > 0 {
+		if a := (1 + roEpsilon) / gap; a > alpha {
+			alpha = a
+		}
+	}
+
+	out := make(map[boolexpr.Var]float64, len(candidates))
+	for _, v := range candidates {
+		out[v] = (1 - prob(v)) + alpha*(bestTermWeight[v]+roEpsilon)
+	}
+	return out
+}
+
+// weightStats returns the minimum term weight and the smallest positive
+// difference between distinct weights (0 when all weights tie or the set
+// is empty).
+func weightStats(weights []float64) (minW, gap float64) {
+	if len(weights) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(weights)
+	minW = weights[0]
+	gap = 0.0
+	for i := 1; i < len(weights); i++ {
+		if d := weights[i] - weights[i-1]; d > weightGapTolerance && (gap == 0 || d < gap) {
+			gap = d
+		}
+	}
+	return minW, gap
+}
+
+// General is the paper's third utility (Formulas (3) and (2) used
+// alternately): one step targets proving expressions False — scoring each
+// variable by the expected number of DNF terms its falsification would
+// eliminate, Formula (3) — and the next targets proving them True via
+// Formula (2), avoiding CNF computation entirely. Inspired by the
+// alternating algorithm of Allen, Hellerstein, Kletenik and Ünlüyurt [4].
+type General struct{}
+
+// Name implements Utility.
+func (General) Name() string { return "General" }
+
+// NeedsCNF implements Utility.
+func (General) NeedsCNF() bool { return false }
+
+// Scores implements Utility.
+func (General) Scores(w *workset, prob func(boolexpr.Var) float64, candidates []boolexpr.Var, round int) map[boolexpr.Var]float64 {
+	if round%2 == 1 {
+		return roScores(w, prob, candidates)
+	}
+	// Formula (3): (1 − π̃(v)) · Σ_φ (nt(φ) − nt(val_{v=False}(φ))).
+	// The sum is exactly the number of undecided DNF terms containing v.
+	termCount := make(map[boolexpr.Var]int, len(candidates))
+	for _, e := range w.exprs {
+		if e.Decided() {
+			continue
+		}
+		for _, t := range e.Terms() {
+			for _, x := range t {
+				termCount[x]++
+			}
+		}
+	}
+	out := make(map[boolexpr.Var]float64, len(candidates))
+	for _, v := range candidates {
+		out[v] = (1 - prob(v)) * float64(termCount[v])
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package resolve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qres/internal/boolexpr"
+)
+
+// workset is the evolving state of Boolean evaluation: the (possibly
+// split) provenance expressions simplified under all probe answers so far,
+// their CNFs when the utility function needs them, and an index from
+// variables to the expressions they occur in.
+type workset struct {
+	exprs  []boolexpr.Expr
+	partOf []int // expression index -> original output-row index
+
+	needCNF  bool
+	cnfBound int
+	cnfs     []boolexpr.CNF
+
+	exprVars []map[boolexpr.Var]bool
+	varIndex map[boolexpr.Var][]int
+
+	undecided int
+}
+
+// newWorkset builds the working state. exprs are the provenance
+// expressions after splitting; partOf aligns them with output rows. When
+// needCNF is set, every expression's CNF is computed up front (bounded by
+// cnfBound clauses); a bound violation is an error — the caller should
+// have split the expression first.
+func newWorkset(exprs []boolexpr.Expr, partOf []int, needCNF bool, cnfBound int) (*workset, error) {
+	w := &workset{
+		exprs:    append([]boolexpr.Expr(nil), exprs...),
+		partOf:   append([]int(nil), partOf...),
+		needCNF:  needCNF,
+		cnfBound: cnfBound,
+		varIndex: make(map[boolexpr.Var][]int),
+	}
+	w.exprVars = make([]map[boolexpr.Var]bool, len(w.exprs))
+	if needCNF {
+		w.cnfs = make([]boolexpr.CNF, len(w.exprs))
+	}
+	for i, e := range w.exprs {
+		if err := w.refresh(i, e); err != nil {
+			return nil, err
+		}
+		if !e.Decided() {
+			w.undecided++
+		}
+	}
+	return w, nil
+}
+
+// refresh re-derives the per-expression caches after expression i becomes
+// (or is initialized as) e.
+func (w *workset) refresh(i int, e boolexpr.Expr) error {
+	w.exprs[i] = e
+	vars := e.Vars()
+	set := make(map[boolexpr.Var]bool, len(vars))
+	for _, v := range vars {
+		set[v] = true
+		w.varIndex[v] = appendUnique(w.varIndex[v], i)
+	}
+	w.exprVars[i] = set
+	if w.needCNF {
+		cnf, ok := e.ToCNF(w.cnfBound)
+		if !ok {
+			return fmt.Errorf("resolve: CNF of expression %d exceeds %d clauses; split it first", i, w.cnfBound)
+		}
+		w.cnfs[i] = cnf
+	}
+	return nil
+}
+
+func appendUnique(xs []int, x int) []int {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// done reports whether every expression is decided.
+func (w *workset) done() bool { return w.undecided == 0 }
+
+// exprsWith returns the indices of undecided expressions that still
+// contain v, filtering stale index entries lazily.
+func (w *workset) exprsWith(v boolexpr.Var) []int {
+	idxs := w.varIndex[v]
+	out := idxs[:0:0]
+	for _, i := range idxs {
+		if !w.exprs[i].Decided() && w.exprVars[i][v] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// candidates returns the variables still occurring in undecided
+// expressions, in ascending order: the candidate probes of the next
+// iteration. Probing any other variable cannot advance evaluation, and
+// the resolution invariant (never probe a variable that no longer matters)
+// is enforced by drawing probes from this set only.
+func (w *workset) candidates() []boolexpr.Var {
+	var out []boolexpr.Var
+	for v := range w.varIndex {
+		if len(w.exprsWith(v)) > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// applyProbe substitutes the answer for v into every expression containing
+// it, re-simplifying and updating caches. It returns the indices of
+// expressions that became decided by this probe.
+func (w *workset) applyProbe(v boolexpr.Var, answer bool) ([]int, error) {
+	val := boolexpr.NewValuation()
+	val.Set(v, answer)
+	var decided []int
+	for _, i := range w.exprsWith(v) {
+		simplified := w.exprs[i].Simplify(val)
+		if err := w.refresh(i, simplified); err != nil {
+			return nil, err
+		}
+		if simplified.Decided() {
+			w.undecided--
+			decided = append(decided, i)
+		}
+	}
+	delete(w.varIndex, v)
+	return decided, nil
+}
+
+// rowStatus aggregates part truth values back to original output rows
+// (inverse of splitting): a row is True if some part is True, False if all
+// parts are False, and undecided otherwise.
+func (w *workset) rowStatus(numRows int) []rowState {
+	states := make([]rowState, numRows)
+	counts := make([]int, numRows)
+	falses := make([]int, numRows)
+	for i, e := range w.exprs {
+		row := w.partOf[i]
+		counts[row]++
+		switch {
+		case e.IsTrue():
+			states[row] = rowTrue
+		case e.IsFalse():
+			falses[row]++
+		}
+	}
+	for r := range states {
+		if states[r] != rowTrue && counts[r] > 0 && falses[r] == counts[r] {
+			states[r] = rowFalse
+		}
+	}
+	return states
+}
+
+// rowState is the resolution status of one output row.
+type rowState uint8
+
+// Row statuses.
+const (
+	rowUndecided rowState = iota
+	rowTrue
+	rowFalse
+)
+
+// prepareExpressions applies known probe answers, optionally splits large
+// expressions, and returns the working expressions with their row mapping.
+// Splitting follows the paper's pre-processing (Section 7.1): when an
+// expression's CNF would exceed cnfBound clauses (or always, when
+// splitAll is set), its terms are partitioned randomly into parts of at
+// most maxTerms terms.
+func prepareExpressions(
+	exprs []boolexpr.Expr,
+	known *boolexpr.Valuation,
+	split bool, splitAll bool, needCNF bool, maxTerms, cnfBound int,
+	rng *rand.Rand,
+) (parts []boolexpr.Expr, partOf []int) {
+	for row, e := range exprs {
+		s := e.Simplify(known)
+		needSplit := false
+		if split && !s.Decided() {
+			if splitAll {
+				needSplit = s.NumTerms() > maxTerms
+			} else if _, ok := s.ToCNF(cnfBound); !ok {
+				needSplit = true
+			}
+		}
+		if needSplit {
+			bound := 0
+			if needCNF {
+				bound = cnfBound
+			}
+			for _, p := range splitToFit(s, maxTerms, bound, rng) {
+				parts = append(parts, p)
+				partOf = append(partOf, row)
+			}
+			continue
+		}
+		parts = append(parts, s)
+		partOf = append(partOf, row)
+	}
+	return parts, partOf
+}
+
+// splitToFit splits e into parts of at most maxTerms terms and, when
+// cnfBound > 0, keeps halving the term bound of any part whose CNF still
+// exceeds the clause bound. A term bound of maxTerms does not by itself
+// bound the CNF — a B-term k-DNF can have k^B clauses — so for wide terms
+// (e.g. Q8's 8-way joins) parts shrink further, down to single-term parts
+// whose CNF is always |term| unit clauses.
+func splitToFit(e boolexpr.Expr, maxTerms, cnfBound int, rng *rand.Rand) []boolexpr.Expr {
+	parts := boolexpr.Split(e, maxTerms, rng)
+	if cnfBound <= 0 {
+		return parts
+	}
+	var out []boolexpr.Expr
+	for _, p := range parts {
+		if _, ok := p.ToCNF(cnfBound); ok || p.NumTerms() <= 1 {
+			out = append(out, p)
+			continue
+		}
+		half := p.NumTerms() / 2
+		if half >= maxTerms {
+			half = maxTerms / 2
+		}
+		if half < 1 {
+			half = 1
+		}
+		out = append(out, splitToFit(p, half, cnfBound, rng)...)
+	}
+	return out
+}

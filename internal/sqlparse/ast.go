@@ -1,0 +1,120 @@
+package sqlparse
+
+import "qres/internal/table"
+
+// Stmt is a parsed SPJU query: one or more SELECT blocks combined by
+// UNION, with an optional trailing ORDER BY / LIMIT applying to the whole
+// result.
+type Stmt struct {
+	Selects []*SelectStmt
+	OrderBy []OrderItem
+	// Limit caps the number of output rows; -1 means no limit.
+	Limit int
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ScalarExpr
+	Desc bool
+}
+
+// SelectStmt is one SELECT block.
+type SelectStmt struct {
+	Distinct bool
+	Star     bool
+	Items    []ScalarExpr
+	From     []TableRef
+	Where    CondExpr // nil when absent
+}
+
+// TableRef is an entry of the FROM list.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// ScalarExpr is a parsed scalar: column reference, literal, or year().
+type ScalarExpr interface{ scalarNode() }
+
+// ColExpr references a column, optionally qualified.
+type ColExpr struct {
+	Qualifier string
+	Name      string
+}
+
+func (ColExpr) scalarNode() {}
+
+// LitExpr is a literal value.
+type LitExpr struct {
+	Value table.Value
+}
+
+func (LitExpr) scalarNode() {}
+
+// YearExpr is the year(<scalar>) function.
+type YearExpr struct {
+	Of ScalarExpr
+}
+
+func (YearExpr) scalarNode() {}
+
+// CondExpr is a parsed condition.
+type CondExpr interface{ condNode() }
+
+// CmpCond compares two scalars with =, !=, <, <=, >, >=.
+type CmpCond struct {
+	Left  ScalarExpr
+	Op    string
+	Right ScalarExpr
+}
+
+func (CmpCond) condNode() {}
+
+// LikeCond is <scalar> [NOT] LIKE 'pattern'.
+type LikeCond struct {
+	Col     ScalarExpr
+	Pattern string
+	Negate  bool
+}
+
+func (LikeCond) condNode() {}
+
+// InCond is <scalar> [NOT] IN (literals).
+type InCond struct {
+	Col    ScalarExpr
+	Values []table.Value
+	Negate bool
+}
+
+func (InCond) condNode() {}
+
+// NotNullCond is <scalar> IS [NOT] NULL. The paper's SPU reduction uses IS
+// NOT NULL selections.
+type NotNullCond struct {
+	Col    ScalarExpr
+	Negate bool // true for IS NULL
+}
+
+func (NotNullCond) condNode() {}
+
+// AndCond conjoins conditions.
+type AndCond struct {
+	Parts []CondExpr
+}
+
+func (AndCond) condNode() {}
+
+// OrCond disjoins conditions.
+type OrCond struct {
+	Parts []CondExpr
+}
+
+func (OrCond) condNode() {}
+
+// NotCond negates a condition (allowed inside selections in the SPJU
+// fragment).
+type NotCond struct {
+	Inner CondExpr
+}
+
+func (NotCond) condNode() {}

@@ -1,0 +1,473 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"qres/internal/engine"
+	"qres/internal/table"
+)
+
+// Catalog resolves relation names to schemas; *table.Database satisfies it.
+type Catalog interface {
+	Relation(name string) (*table.Relation, bool)
+}
+
+// Compile translates the statement into an engine plan over the catalog:
+// left-deep joins in FROM order, with single-table conditions pushed below
+// the joins and join conditions attached at the lowest join where all
+// their columns are available (so equality conditions execute as hash
+// joins), topped by projection and UNION.
+func (s *Stmt) Compile(cat Catalog) (engine.Node, error) {
+	if len(s.Selects) == 0 {
+		return nil, fmt.Errorf("sqlparse: empty statement")
+	}
+	var nodes []engine.Node
+	for _, sel := range s.Selects {
+		n, err := compileSelect(sel, cat)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	node := nodes[0]
+	if len(nodes) > 1 {
+		node = engine.Union(nodes...)
+	}
+	// ORDER BY keys bind against the output schema (projected names are
+	// unqualified); LIMIT truncates after ordering.
+	if len(s.OrderBy) > 0 {
+		keys := make([]engine.SortKey, 0, len(s.OrderBy))
+		for _, item := range s.OrderBy {
+			sc, err := compileScalar(item.Col)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, engine.SortKey{By: sc, Desc: item.Desc})
+		}
+		node = engine.Sort(node, keys...)
+	}
+	if s.Limit >= 0 {
+		node = engine.Limit(node, s.Limit)
+	}
+	return node, nil
+}
+
+// ParseAndCompile is the convenience one-shot front door.
+func ParseAndCompile(query string, cat Catalog) (engine.Node, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Compile(cat)
+}
+
+// compileSelect compiles one SELECT block.
+func compileSelect(sel *SelectStmt, cat Catalog) (engine.Node, error) {
+	// Bind FROM entries and alias schemas.
+	type fromEntry struct {
+		ref    TableRef
+		schema *table.Schema
+	}
+	entries := make([]fromEntry, 0, len(sel.From))
+	byAlias := make(map[string]*table.Schema)
+	for _, ref := range sel.From {
+		rel, ok := cat.Relation(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("sqlparse: unknown relation %q", ref.Name)
+		}
+		key := strings.ToLower(ref.Alias)
+		if _, dup := byAlias[key]; dup {
+			return nil, fmt.Errorf("sqlparse: duplicate alias %q", ref.Alias)
+		}
+		byAlias[key] = rel.Schema()
+		entries = append(entries, fromEntry{ref: ref, schema: rel.Schema()})
+	}
+
+	// Resolve unqualified column references against the FROM schemas.
+	resolve := func(c ColExpr) (ColExpr, error) {
+		if c.Qualifier != "" {
+			schema, ok := byAlias[strings.ToLower(c.Qualifier)]
+			if !ok {
+				return c, fmt.Errorf("sqlparse: unknown alias %q", c.Qualifier)
+			}
+			if _, ok := schema.Index(c.Name); !ok {
+				return c, fmt.Errorf("sqlparse: relation %q has no column %q", c.Qualifier, c.Name)
+			}
+			return c, nil
+		}
+		found := ""
+		for _, e := range entries {
+			if _, ok := e.schema.Index(c.Name); ok {
+				if found != "" {
+					return c, fmt.Errorf("sqlparse: ambiguous column %q", c.Name)
+				}
+				found = e.ref.Alias
+			}
+		}
+		if found == "" {
+			return c, fmt.Errorf("sqlparse: unknown column %q", c.Name)
+		}
+		c.Qualifier = found
+		return c, nil
+	}
+
+	// Split WHERE into top-level conjuncts and resolve their columns.
+	var conjuncts []CondExpr
+	var flatten func(c CondExpr)
+	flatten = func(c CondExpr) {
+		if and, ok := c.(AndCond); ok {
+			for _, p := range and.Parts {
+				flatten(p)
+			}
+			return
+		}
+		conjuncts = append(conjuncts, c)
+	}
+	if sel.Where != nil {
+		flatten(sel.Where)
+	}
+	for i, c := range conjuncts {
+		rc, err := resolveCond(c, resolve)
+		if err != nil {
+			return nil, err
+		}
+		conjuncts[i] = rc
+	}
+
+	// Push single-alias conjuncts below the joins.
+	placed := make([]bool, len(conjuncts))
+	scanFor := func(i int) (engine.Node, error) {
+		alias := strings.ToLower(entries[i].ref.Alias)
+		node := engine.Node(engine.Scan(entries[i].ref.Name, entries[i].ref.Alias))
+		var preds []engine.Predicate
+		for ci, c := range conjuncts {
+			if placed[ci] {
+				continue
+			}
+			quals := condQualifiers(c)
+			if len(quals) == 1 && quals[alias] {
+				p, err := compileCond(c)
+				if err != nil {
+					return nil, err
+				}
+				preds = append(preds, p)
+				placed[ci] = true
+			} else if len(quals) == 0 && i == 0 {
+				// Constant condition: evaluate once, at the first scan.
+				p, err := compileCond(c)
+				if err != nil {
+					return nil, err
+				}
+				preds = append(preds, p)
+				placed[ci] = true
+			}
+		}
+		if len(preds) > 0 {
+			node = engine.Select(node, engine.And(preds...))
+		}
+		return node, nil
+	}
+
+	current, err := scanFor(0)
+	if err != nil {
+		return nil, err
+	}
+	avail := map[string]bool{strings.ToLower(entries[0].ref.Alias): true}
+	for i := 1; i < len(entries); i++ {
+		right, err := scanFor(i)
+		if err != nil {
+			return nil, err
+		}
+		alias := strings.ToLower(entries[i].ref.Alias)
+		nowAvail := map[string]bool{alias: true}
+		for a := range avail {
+			nowAvail[a] = true
+		}
+		var joinPreds []engine.Predicate
+		for ci, c := range conjuncts {
+			if placed[ci] {
+				continue
+			}
+			quals := condQualifiers(c)
+			if len(quals) == 0 {
+				continue
+			}
+			subset := true
+			for q := range quals {
+				if !nowAvail[q] {
+					subset = false
+					break
+				}
+			}
+			if subset {
+				p, err := compileCond(c)
+				if err != nil {
+					return nil, err
+				}
+				joinPreds = append(joinPreds, p)
+				placed[ci] = true
+			}
+		}
+		current = engine.Join(current, right, engine.And(joinPreds...))
+		avail = nowAvail
+	}
+	for ci := range conjuncts {
+		if !placed[ci] {
+			p, err := compileCond(conjuncts[ci])
+			if err != nil {
+				return nil, err
+			}
+			current = engine.Select(current, p)
+		}
+	}
+
+	// Projection.
+	if sel.Star {
+		if !sel.Distinct {
+			return current, nil
+		}
+		// SELECT DISTINCT *: project every column explicitly.
+		var cols []engine.Scalar
+		for _, e := range entries {
+			for _, c := range e.schema.Columns() {
+				cols = append(cols, engine.Col(e.ref.Alias, c.Name))
+			}
+		}
+		return engine.Project(current, true, cols...), nil
+	}
+	cols := make([]engine.Scalar, 0, len(sel.Items))
+	for _, item := range sel.Items {
+		rs, err := resolveScalar(item, resolve)
+		if err != nil {
+			return nil, err
+		}
+		s, err := compileScalar(rs)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, s)
+	}
+	return engine.Project(current, sel.Distinct, cols...), nil
+}
+
+// resolveScalar rewrites unqualified column references.
+func resolveScalar(s ScalarExpr, resolve func(ColExpr) (ColExpr, error)) (ScalarExpr, error) {
+	switch v := s.(type) {
+	case ColExpr:
+		return resolve(v)
+	case YearExpr:
+		inner, err := resolveScalar(v.Of, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return YearExpr{Of: inner}, nil
+	default:
+		return s, nil
+	}
+}
+
+// resolveCond rewrites unqualified column references inside a condition.
+func resolveCond(c CondExpr, resolve func(ColExpr) (ColExpr, error)) (CondExpr, error) {
+	switch v := c.(type) {
+	case CmpCond:
+		l, err := resolveScalar(v.Left, resolve)
+		if err != nil {
+			return nil, err
+		}
+		r, err := resolveScalar(v.Right, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return CmpCond{Left: l, Op: v.Op, Right: r}, nil
+	case LikeCond:
+		col, err := resolveScalar(v.Col, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return LikeCond{Col: col, Pattern: v.Pattern, Negate: v.Negate}, nil
+	case InCond:
+		col, err := resolveScalar(v.Col, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return InCond{Col: col, Values: v.Values, Negate: v.Negate}, nil
+	case NotNullCond:
+		col, err := resolveScalar(v.Col, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return NotNullCond{Col: col, Negate: v.Negate}, nil
+	case AndCond:
+		parts := make([]CondExpr, len(v.Parts))
+		for i, p := range v.Parts {
+			rp, err := resolveCond(p, resolve)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = rp
+		}
+		return AndCond{Parts: parts}, nil
+	case OrCond:
+		parts := make([]CondExpr, len(v.Parts))
+		for i, p := range v.Parts {
+			rp, err := resolveCond(p, resolve)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = rp
+		}
+		return OrCond{Parts: parts}, nil
+	case NotCond:
+		inner, err := resolveCond(v.Inner, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return NotCond{Inner: inner}, nil
+	default:
+		return nil, fmt.Errorf("sqlparse: unknown condition %T", c)
+	}
+}
+
+// condQualifiers collects the (lower-cased) aliases referenced by a
+// condition.
+func condQualifiers(c CondExpr) map[string]bool {
+	out := make(map[string]bool)
+	var walkScalar func(s ScalarExpr)
+	walkScalar = func(s ScalarExpr) {
+		switch v := s.(type) {
+		case ColExpr:
+			out[strings.ToLower(v.Qualifier)] = true
+		case YearExpr:
+			walkScalar(v.Of)
+		}
+	}
+	var walk func(c CondExpr)
+	walk = func(c CondExpr) {
+		switch v := c.(type) {
+		case CmpCond:
+			walkScalar(v.Left)
+			walkScalar(v.Right)
+		case LikeCond:
+			walkScalar(v.Col)
+		case InCond:
+			walkScalar(v.Col)
+		case NotNullCond:
+			walkScalar(v.Col)
+		case AndCond:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		case OrCond:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		case NotCond:
+			walk(v.Inner)
+		}
+	}
+	walk(c)
+	return out
+}
+
+// compileScalar converts a resolved scalar AST to an engine scalar.
+func compileScalar(s ScalarExpr) (engine.Scalar, error) {
+	switch v := s.(type) {
+	case ColExpr:
+		return engine.Col(v.Qualifier, v.Name), nil
+	case LitExpr:
+		return engine.Const(v.Value), nil
+	case YearExpr:
+		inner, err := compileScalar(v.Of)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Year(inner), nil
+	default:
+		return nil, fmt.Errorf("sqlparse: unknown scalar %T", s)
+	}
+}
+
+var cmpOps = map[string]engine.CmpOp{
+	"=": engine.OpEq, "!=": engine.OpNe,
+	"<": engine.OpLt, "<=": engine.OpLe,
+	">": engine.OpGt, ">=": engine.OpGe,
+}
+
+// compileCond converts a resolved condition AST to an engine predicate.
+func compileCond(c CondExpr) (engine.Predicate, error) {
+	switch v := c.(type) {
+	case CmpCond:
+		l, err := compileScalar(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileScalar(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := cmpOps[v.Op]
+		if !ok {
+			return nil, fmt.Errorf("sqlparse: unknown operator %q", v.Op)
+		}
+		return engine.Cmp(l, op, r), nil
+	case LikeCond:
+		col, err := compileScalar(v.Col)
+		if err != nil {
+			return nil, err
+		}
+		p := engine.Like(col, v.Pattern)
+		if v.Negate {
+			p = engine.Not(p)
+		}
+		return p, nil
+	case InCond:
+		col, err := compileScalar(v.Col)
+		if err != nil {
+			return nil, err
+		}
+		p := engine.In(col, v.Values...)
+		if v.Negate {
+			p = engine.Not(p)
+		}
+		return p, nil
+	case NotNullCond:
+		col, err := compileScalar(v.Col)
+		if err != nil {
+			return nil, err
+		}
+		p := engine.IsNotNull(col)
+		if v.Negate {
+			p = engine.Not(p)
+		}
+		return p, nil
+	case AndCond:
+		parts := make([]engine.Predicate, len(v.Parts))
+		for i, sub := range v.Parts {
+			p, err := compileCond(sub)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = p
+		}
+		return engine.And(parts...), nil
+	case OrCond:
+		parts := make([]engine.Predicate, len(v.Parts))
+		for i, sub := range v.Parts {
+			p, err := compileCond(sub)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = p
+		}
+		return engine.Or(parts...), nil
+	case NotCond:
+		inner, err := compileCond(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Not(inner), nil
+	default:
+		return nil, fmt.Errorf("sqlparse: unknown condition %T", c)
+	}
+}

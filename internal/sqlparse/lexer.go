@@ -1,0 +1,218 @@
+// Package sqlparse implements a front-end for the SPJU SQL fragment the
+// paper works with (Section 2.1): SELECT [DISTINCT] over comma-joined
+// relations with conjunctive/disjunctive WHERE conditions (comparisons,
+// LIKE, IN, IS NOT NULL, NOT inside conditions), combined with UNION.
+// Queries compile to internal/engine algebra plans with single-table
+// predicate pushdown and join-condition placement, so the engine's hash
+// joins apply.
+//
+// The fragment deliberately excludes nesting, aggregation and negation at
+// the operator level — exactly the paper's query class, for which
+// provenance is monotone k-DNF.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokDate // yyyy.mm.dd or yyyy-mm-dd numeric date literal
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer scans the input into tokens. Identifiers and keywords are
+// case-insensitive; keyword recognition happens in the parser via
+// case-folded comparison.
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+}
+
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.input) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		c := l.input[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '-' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '-' {
+			// SQL line comment.
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.input[start:l.pos], start)
+}
+
+// lexNumber scans integers, decimals, and the paper's dotted date literals
+// (2017.01.01). A number with exactly two dot-separated integer groups is
+// a decimal; three groups form a date. Dash-separated dates (2017-01-01)
+// are handled at parse level via the DATE keyword or quoted strings, and
+// also directly here when the shape matches digits-dash-digits-dash-digits
+// with no spaces.
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	digits := func() {
+		for l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	digits()
+	groups := 1
+	for l.pos < len(l.input) && l.input[l.pos] == '.' &&
+		l.pos+1 < len(l.input) && l.input[l.pos+1] >= '0' && l.input[l.pos+1] <= '9' {
+		l.pos++
+		digits()
+		groups++
+	}
+	text := l.input[start:l.pos]
+	switch groups {
+	case 3:
+		l.emit(tokDate, strings.ReplaceAll(text, ".", "-"), start)
+	case 1, 2:
+		// Check for a dash-separated date: 2017-01-01 (only when the
+		// integer has 4 digits, so subtraction expressions, which the
+		// fragment does not support anyway, cannot be confused).
+		if groups == 1 && l.pos-start == 4 && l.peekDashDate() {
+			l.pos++ // '-'
+			digits()
+			l.pos++ // '-'
+			digits()
+			l.emit(tokDate, l.input[start:l.pos], start)
+			return nil
+		}
+		l.emit(tokNumber, text, start)
+	default:
+		return fmt.Errorf("sqlparse: malformed number %q at %d", text, start)
+	}
+	return nil
+}
+
+// peekDashDate reports whether the input continues with -dd-dd.
+func (l *lexer) peekDashDate() bool {
+	rest := l.input[l.pos:]
+	if len(rest) < 6 || rest[0] != '-' {
+		return false
+	}
+	i := 1
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		i++
+	}
+	if i == 1 || i >= len(rest) || rest[i] != '-' {
+		return false
+	}
+	j := i + 1
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		j++
+	}
+	return j > i+1
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, b.String(), start)
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated string at %d", start)
+}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.input) {
+		two = l.input[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.pos += 2
+		l.emit(tokSymbol, two, start)
+		return nil
+	}
+	c := l.input[l.pos]
+	switch c {
+	case ',', '(', ')', '=', '<', '>', '*', '.':
+		l.pos++
+		l.emit(tokSymbol, string(c), start)
+		return nil
+	}
+	return fmt.Errorf("sqlparse: unexpected character %q at %d", c, start)
+}

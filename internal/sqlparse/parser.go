@@ -1,0 +1,433 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qres/internal/table"
+)
+
+// Parse parses an SPJU SQL statement.
+func Parse(input string) (*Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input starting at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: "+format+" (at offset %d)", append(args, p.peek().pos)...)
+}
+
+// keyword reports whether the next token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// peekKeyword reports whether the next token is the keyword, without
+// consuming.
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s, found %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.symbol(sym) {
+		return p.errorf("expected %q, found %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+// reserved keywords that terminate identifiers in clause positions.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "union": true,
+	"and": true, "or": true, "not": true, "like": true, "in": true,
+	"is": true, "null": true, "as": true, "distinct": true,
+	"order": true, "by": true, "limit": true,
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	stmt := &Stmt{Limit: -1}
+	for {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Selects = append(stmt.Selects, sel)
+		if !p.keyword("union") {
+			break
+		}
+		// Plain UNION (set semantics); UNION ALL is not in the fragment.
+		if p.peekKeyword("all") {
+			return nil, p.errorf("UNION ALL is not supported (set semantics only)")
+		}
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseScalar()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.keyword("desc") {
+				item.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("LIMIT expects a number, found %q", t.text)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	sel.Distinct = p.keyword("distinct")
+
+	if p.symbol("*") {
+		sel.Star = true
+	} else {
+		for {
+			item, err := p.parseScalar()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if !p.symbol(",") {
+			break
+		}
+	}
+
+	if p.keyword("where") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = cond
+	}
+	return sel, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.kind != tokIdent || reserved[strings.ToLower(t.text)] {
+		return TableRef{}, p.errorf("expected relation name, found %q", t.text)
+	}
+	p.next()
+	ref := TableRef{Name: t.text, Alias: t.text}
+	p.keyword("as") // optional AS
+	a := p.peek()
+	if a.kind == tokIdent && !reserved[strings.ToLower(a.text)] {
+		p.next()
+		ref.Alias = a.text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseOr() (CondExpr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []CondExpr{left}
+	for p.keyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return OrCond{Parts: parts}, nil
+}
+
+func (p *parser) parseAnd() (CondExpr, error) {
+	left, err := p.parsePrimaryCond()
+	if err != nil {
+		return nil, err
+	}
+	parts := []CondExpr{left}
+	for p.keyword("and") {
+		right, err := p.parsePrimaryCond()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return AndCond{Parts: parts}, nil
+}
+
+func (p *parser) parsePrimaryCond() (CondExpr, error) {
+	if p.keyword("not") {
+		inner, err := p.parsePrimaryCond()
+		if err != nil {
+			return nil, err
+		}
+		return NotCond{Inner: inner}, nil
+	}
+	if p.symbol("(") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return cond, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (CondExpr, error) {
+	left, err := p.parseScalar()
+	if err != nil {
+		return nil, err
+	}
+
+	negate := p.keyword("not")
+
+	switch {
+	case p.keyword("like"):
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, p.errorf("LIKE expects a string pattern, found %q", t.text)
+		}
+		p.next()
+		return LikeCond{Col: left, Pattern: t.text, Negate: negate}, nil
+
+	case p.keyword("in"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var values []table.Value
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, lit)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return InCond{Col: left, Values: values, Negate: negate}, nil
+
+	case negate:
+		return nil, p.errorf("NOT must precede LIKE or IN here")
+
+	case p.keyword("is"):
+		neg := !p.keyword("not") // IS NOT NULL → Negate=false; IS NULL → true
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return NotNullCond{Col: left, Negate: neg}, nil
+	}
+
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return nil, p.errorf("expected comparison operator, found %q", t.text)
+	}
+	op := t.text
+	switch op {
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+		p.next()
+	default:
+		return nil, p.errorf("unsupported operator %q", op)
+	}
+	if op == "<>" {
+		op = "!="
+	}
+	right, err := p.parseScalar()
+	if err != nil {
+		return nil, err
+	}
+	return CmpCond{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *parser) parseScalar() (ScalarExpr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return LitExpr{Value: numberValue(t.text)}, nil
+	case tokDate:
+		p.next()
+		v, err := dateValue(t.text)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		return LitExpr{Value: v}, nil
+	case tokString:
+		p.next()
+		return LitExpr{Value: table.String_(t.text)}, nil
+	case tokIdent:
+		lower := strings.ToLower(t.text)
+		if lower == "year" && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.next()
+			p.next() // '('
+			inner, err := p.parseScalar()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return YearExpr{Of: inner}, nil
+		}
+		if lower == "date" && p.toks[p.pos+1].kind == tokString {
+			p.next()
+			s := p.next()
+			v, err := dateValue(s.text)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			return LitExpr{Value: v}, nil
+		}
+		if lower == "null" {
+			p.next()
+			return LitExpr{Value: table.Null()}, nil
+		}
+		if reserved[lower] {
+			return nil, p.errorf("unexpected keyword %q", t.text)
+		}
+		p.next()
+		if p.symbol(".") {
+			col := p.peek()
+			if col.kind != tokIdent {
+				return nil, p.errorf("expected column after %q.", t.text)
+			}
+			p.next()
+			return ColExpr{Qualifier: t.text, Name: col.text}, nil
+		}
+		return ColExpr{Name: t.text}, nil
+	}
+	return nil, p.errorf("expected scalar expression, found %q", t.text)
+}
+
+func (p *parser) parseLiteral() (table.Value, error) {
+	s, err := p.parseScalar()
+	if err != nil {
+		return table.Value{}, err
+	}
+	lit, ok := s.(LitExpr)
+	if !ok {
+		return table.Value{}, p.errorf("expected literal value")
+	}
+	return lit.Value, nil
+}
+
+func numberValue(text string) table.Value {
+	if strings.Contains(text, ".") {
+		f, _ := strconv.ParseFloat(text, 64)
+		return table.Float(f)
+	}
+	i, _ := strconv.ParseInt(text, 10, 64)
+	return table.Int(i)
+}
+
+func dateValue(text string) (table.Value, error) {
+	parts := strings.FieldsFunc(text, func(r rune) bool { return r == '-' || r == '.' || r == '/' })
+	if len(parts) != 3 {
+		return table.Value{}, fmt.Errorf("malformed date %q", text)
+	}
+	y, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	d, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || m < 1 || m > 12 || d < 1 || d > 31 {
+		return table.Value{}, fmt.Errorf("malformed date %q", text)
+	}
+	return table.Date(y, m, d), nil
+}

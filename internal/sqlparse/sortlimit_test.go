@@ -1,0 +1,111 @@
+package sqlparse_test
+
+import (
+	"testing"
+
+	"qres/internal/sqlparse"
+	"qres/internal/testdb"
+)
+
+func TestOrderByAndLimit(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+
+	res, err := runSQL(t, udb, `SELECT Alumni, Year FROM Education ORDER BY Year DESC, Alumni ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Year 2017 first (three rows, alphabetical), then 2010, 2005.
+	wantFirst := []string{"Nana Alvi", "Pavel Lebedev", "Usha Koirala"}
+	for i, want := range wantFirst {
+		if got := res.Rows[i].Tuple[0].AsString(); got != want {
+			t.Errorf("row %d = %q, want %q", i, got, want)
+		}
+		if res.Rows[i].Tuple[1].AsInt() != 2017 {
+			t.Errorf("row %d year = %v", i, res.Rows[i].Tuple[1])
+		}
+	}
+	if res.Rows[5].Tuple[1].AsInt() != 2005 {
+		t.Errorf("last row year = %v", res.Rows[5].Tuple[1])
+	}
+
+	// LIMIT truncates after the ordering. (ORDER BY binds against the
+	// output schema, so the key must be projected.)
+	res, err = runSQL(t, udb, `SELECT Alumni, Year FROM Education ORDER BY Year LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("limited rows = %d", len(res.Rows))
+	}
+	if got := res.Rows[0].Tuple[0].AsString(); got != "Amaal Kader" { // year 2005
+		t.Errorf("first = %q", got)
+	}
+
+	// LIMIT 0 and oversized limits.
+	res, err = runSQL(t, udb, `SELECT Alumni FROM Education LIMIT 0`)
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("LIMIT 0: rows=%d err=%v", len(res.Rows), err)
+	}
+	res, err = runSQL(t, udb, `SELECT Alumni FROM Education LIMIT 100`)
+	if err != nil || len(res.Rows) != 6 {
+		t.Fatalf("LIMIT 100: rows=%d err=%v", len(res.Rows), err)
+	}
+}
+
+func TestOrderByAppliesToUnion(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	res, err := runSQL(t, udb, `
+		SELECT Member FROM Roles
+		UNION SELECT Alumni FROM Education
+		ORDER BY Member DESC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Tuple[0].AsString() != "Usha Koirala" {
+		t.Fatalf("got %v", res.Rows)
+	}
+}
+
+func TestOrderByQualifiedAndYear(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	// ORDER BY over a star select can reference qualified columns.
+	res, err := runSQL(t, udb, `SELECT * FROM Acquisitions AS a ORDER BY year(a.Date) DESC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0].Tuple[0].AsString() != "A2Bdone" { // 2020 acquisition
+		t.Fatalf("got %v", res.Rows[0].Tuple)
+	}
+}
+
+func TestOrderByLimitErrors(t *testing.T) {
+	bad := []string{
+		"SELECT x FROM t ORDER x",
+		"SELECT x FROM t ORDER BY",
+		"SELECT x FROM t LIMIT",
+		"SELECT x FROM t LIMIT 'five'",
+		"SELECT x FROM t LIMIT 1.5",
+	}
+	for _, q := range bad {
+		if _, err := parseOnly(q); err == nil {
+			t.Errorf("Parse(%q) succeeded", q)
+		}
+	}
+	// Unknown ORDER BY column fails at bind time.
+	udb := testdb.PaperUncertainDB()
+	if _, err := runSQL(t, udb, `SELECT Alumni FROM Education ORDER BY nope`); err == nil {
+		t.Error("unknown ORDER BY column accepted")
+	}
+	// ORDER BY binds against the output schema: a projected-away column
+	// is rejected.
+	if _, err := runSQL(t, udb, `SELECT Alumni FROM Education ORDER BY Year LIMIT 3`); err == nil {
+		t.Error("projected-away ORDER BY key accepted")
+	}
+}
+
+func parseOnly(q string) (interface{}, error) {
+	return sqlparse.Parse(q)
+}

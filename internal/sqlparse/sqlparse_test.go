@@ -1,0 +1,241 @@
+package sqlparse_test
+
+import (
+	"strings"
+	"testing"
+
+	"qres/internal/boolexpr"
+	"qres/internal/engine"
+	"qres/internal/sqlparse"
+	"qres/internal/table"
+	"qres/internal/testdb"
+	"qres/internal/uncertain"
+)
+
+// paperSQL is the Figure 2 query verbatim (with the paper's dotted date
+// literal).
+const paperSQL = `
+SELECT DISTINCT a.Acquired, e.Institute
+FROM Acquisitions AS a, Roles AS r, Education AS e
+WHERE a.Acquired = r.Organization AND
+      r.Member = e.Alumni AND a.Date >= 2017.01.01 AND
+      r.Role LIKE '%found%' AND e.YEAR <= year(a.Date)
+`
+
+// The SQL front door must produce exactly the same annotated result as the
+// hand-built algebra plan, including provenance.
+func TestPaperSQLMatchesAlgebra(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	plan, err := sqlparse.ParseAndCompile(paperSQL, udb.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.Run(udb, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Run(udb, testdb.PaperQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("SQL: %d rows, algebra: %d rows", len(got.Rows), len(want.Rows))
+	}
+	wantProv := make(map[string]boolexpr.Expr)
+	for _, r := range want.Rows {
+		wantProv[r.Tuple.Key()] = r.Prov
+	}
+	for _, r := range got.Rows {
+		w, ok := wantProv[r.Tuple.Key()]
+		if !ok {
+			t.Fatalf("unexpected tuple %v", r.Tuple)
+		}
+		if !r.Prov.Equal(w) {
+			t.Fatalf("provenance mismatch for %v: %v vs %v", r.Tuple, r.Prov, w)
+		}
+	}
+	// The compiled plan must use hash joins (equi-conditions were placed
+	// at joins, not left for a post-filter over a cross product).
+	s := plan.String()
+	if !strings.Contains(s, "Join(((a.Acquired = r.Organization))") &&
+		!strings.Contains(s, "a.Acquired = r.Organization") {
+		t.Errorf("join condition missing from plan: %s", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * WHERE x = 1",
+		"SELECT * FROM",
+		"SELECT a. FROM t",
+		"FROM t SELECT *",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE x LIKE 5",
+		"SELECT * FROM t WHERE x IN 5",
+		"SELECT * FROM t WHERE x IS 5",
+		"SELECT * FROM t WHERE x NOT = 5",
+		"SELECT * FROM t WHERE x = 'unterminated",
+		"SELECT * FROM t extra garbage ; here",
+		"SELECT * FROM t UNION ALL SELECT * FROM t",
+		"SELECT * FROM t WHERE x ~ 5",
+		"SELECT * FROM t WHERE x = DATE 'not-a-date'",
+		"SELECT * FROM t WHERE d = 2017.13.45",
+	}
+	for _, q := range bad {
+		if _, err := sqlparse.Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	db := testdb.PaperDatabase()
+	bad := []string{
+		"SELECT * FROM Missing",
+		"SELECT x.foo FROM Acquisitions AS x",
+		"SELECT foo FROM Acquisitions",
+		"SELECT Acquired FROM Acquisitions AS a, Acquisitions AS b", // ambiguous
+		"SELECT z.Acquired FROM Acquisitions AS a",                  // unknown alias
+		"SELECT a.Acquired FROM Acquisitions AS a, Roles AS a",      // duplicate alias
+	}
+	for _, q := range bad {
+		stmt, err := sqlparse.Parse(q)
+		if err != nil {
+			t.Errorf("Parse(%q) failed unexpectedly: %v", q, err)
+			continue
+		}
+		if _, err := stmt.Compile(db); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestSelectStarAndDistinct(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	res, err := runSQL(t, udb, "SELECT * FROM Roles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 || len(res.Columns) != 3 {
+		t.Fatalf("star select: %d rows × %d cols", len(res.Rows), len(res.Columns))
+	}
+	res, err = runSQL(t, udb, "SELECT DISTINCT * FROM Roles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("distinct star: %d rows", len(res.Rows))
+	}
+	res, err = runSQL(t, udb, "SELECT DISTINCT Organization FROM Roles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("distinct single column: %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestUnionSQL(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	res, err := runSQL(t, udb,
+		"SELECT Member FROM Roles UNION SELECT Alumni FROM Education")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five distinct people appear on each side (Nana Alvi repeats), fully
+	// overlapping across the two branches.
+	if len(res.Rows) != 5 {
+		t.Fatalf("union: %d rows, want 5 distinct people", len(res.Rows))
+	}
+}
+
+func TestWhereVariants(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT * FROM Acquisitions WHERE Date >= 2017-01-01", 2},
+		{"SELECT * FROM Acquisitions WHERE Date >= DATE '2017-01-01'", 2},
+		{"SELECT * FROM Acquisitions WHERE year(Date) = 2017", 1},
+		{"SELECT * FROM Acquisitions WHERE Acquiring = 'Fiffer' AND year(Date) != 2016", 1},
+		{"SELECT * FROM Roles WHERE Role LIKE '%found%'", 5},
+		{"SELECT * FROM Roles WHERE Role NOT LIKE '%found%'", 1},
+		{"SELECT * FROM Education WHERE Year IN (2010, 2005)", 3},
+		{"SELECT * FROM Education WHERE Year NOT IN (2010, 2005)", 3},
+		{"SELECT * FROM Education WHERE Alumni IS NOT NULL", 6},
+		{"SELECT * FROM Education WHERE Alumni IS NULL", 0},
+		{"SELECT * FROM Education WHERE NOT (Year = 2017)", 3},
+		{"SELECT * FROM Education WHERE Year = 2017 OR Year = 2005", 4},
+		{"SELECT * FROM Education WHERE (Year = 2017 OR Year = 2005) AND Institute LIKE 'U.%'", 4},
+	}
+	for _, c := range cases {
+		res, err := runSQL(t, udb, c.sql)
+		if err != nil {
+			t.Errorf("%q: %v", c.sql, err)
+			continue
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("%q: %d rows, want %d", c.sql, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestJoinConditionPlacement(t *testing.T) {
+	// A three-way join where the second join condition references tables
+	// 1 and 3: the condition must attach at the second join, not filter a
+	// cross product afterwards.
+	udb := testdb.PaperUncertainDB()
+	res, err := runSQL(t, udb, `
+		SELECT DISTINCT a.Acquired
+		FROM Acquisitions AS a, Roles AS r, Education AS e
+		WHERE a.Acquired = r.Organization AND r.Member = e.Alumni AND e.Year <= year(a.Date)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestCaseInsensitiveKeywordsAndComments(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	res, err := runSQL(t, udb, `
+		select distinct organization -- trailing comment
+		from Roles where role like '%CTO%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(res.Rows))
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := table.NewDatabase()
+	rel := table.NewRelation("t", table.NewSchema(table.Column{Name: "s", Kind: table.KindString}))
+	rel.MustAppend(table.Tuple{table.String_("it's")}, nil)
+	rel.MustAppend(table.Tuple{table.String_("plain")}, nil)
+	db.MustAdd(rel)
+	udb := uncertainFor(db)
+	res, err := runSQL(t, udb, "SELECT * FROM t WHERE s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(res.Rows))
+	}
+}
+
+func runSQL(t *testing.T, udb *uncertain.DB, query string) (*engine.Result, error) {
+	t.Helper()
+	plan, err := sqlparse.ParseAndCompile(query, udb.Data())
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(udb, plan)
+}
+
+func uncertainFor(db *table.Database) *uncertain.DB { return uncertain.New(db) }

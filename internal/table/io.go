@@ -1,0 +1,219 @@
+package table
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSONL dump format: one JSON object per line. A "schema" record
+// declares a relation before its "row" records; rows carry typed values
+// and optional metadata. The format is self-describing and append-friendly
+// so generated substrates can be dumped, inspected and reloaded without a
+// database server (the paper's prototype used MongoDB for the same role).
+
+type jsonSchema struct {
+	Type     string       `json:"type"` // "schema"
+	Relation string       `json:"relation"`
+	Columns  []jsonColumn `json:"columns"`
+}
+
+type jsonColumn struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type jsonRow struct {
+	Type     string            `json:"type"` // "row"
+	Relation string            `json:"relation"`
+	Values   []jsonValue       `json:"values"`
+	Meta     map[string]string `json:"meta,omitempty"`
+}
+
+type jsonValue struct {
+	T string   `json:"t"`
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	S *string  `json:"s,omitempty"`
+}
+
+func kindName(k Kind) string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindDate:
+		return "date"
+	default:
+		return "null"
+	}
+}
+
+func kindFromName(s string) (Kind, error) {
+	switch s {
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	case "date":
+		return KindDate, nil
+	case "null":
+		return KindNull, nil
+	default:
+		return KindNull, fmt.Errorf("table: unknown kind %q", s)
+	}
+}
+
+func encodeValue(v Value) jsonValue {
+	switch v.Kind() {
+	case KindInt:
+		i := v.AsInt()
+		return jsonValue{T: "int", I: &i}
+	case KindDate:
+		i := v.AsInt()
+		return jsonValue{T: "date", I: &i}
+	case KindFloat:
+		f := v.AsFloat()
+		return jsonValue{T: "float", F: &f}
+	case KindString:
+		s := v.AsString()
+		return jsonValue{T: "string", S: &s}
+	default:
+		return jsonValue{T: "null"}
+	}
+}
+
+func decodeValue(jv jsonValue) (Value, error) {
+	switch jv.T {
+	case "int":
+		if jv.I == nil {
+			return Value{}, fmt.Errorf("table: int value missing payload")
+		}
+		return Int(*jv.I), nil
+	case "date":
+		if jv.I == nil {
+			return Value{}, fmt.Errorf("table: date value missing payload")
+		}
+		return DateFromOrdinal(*jv.I), nil
+	case "float":
+		if jv.F == nil {
+			return Value{}, fmt.Errorf("table: float value missing payload")
+		}
+		return Float(*jv.F), nil
+	case "string":
+		if jv.S == nil {
+			return Value{}, fmt.Errorf("table: string value missing payload")
+		}
+		return String_(*jv.S), nil
+	case "null":
+		return Null(), nil
+	default:
+		return Value{}, fmt.Errorf("table: unknown value tag %q", jv.T)
+	}
+}
+
+// WriteJSON dumps the database as JSONL: each relation's schema record
+// followed by its row records, in relation insertion order.
+func WriteJSON(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, name := range db.Names() {
+		rel, _ := db.Relation(name)
+		schema := jsonSchema{Type: "schema", Relation: rel.Name()}
+		for _, c := range rel.Schema().Columns() {
+			schema.Columns = append(schema.Columns, jsonColumn{Name: c.Name, Kind: kindName(c.Kind)})
+		}
+		if err := enc.Encode(schema); err != nil {
+			return err
+		}
+		for i := 0; i < rel.Len(); i++ {
+			row := jsonRow{Type: "row", Relation: rel.Name()}
+			for _, v := range rel.At(i) {
+				row.Values = append(row.Values, encodeValue(v))
+			}
+			if meta := rel.MetaAt(i); meta != nil {
+				row.Meta = meta
+			}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON reloads a database dumped by WriteJSON. Rows must follow their
+// relation's schema record.
+func ReadJSON(r io.Reader) (*Database, error) {
+	db := NewDatabase()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return nil, fmt.Errorf("table: line %d: %w", line, err)
+		}
+		switch head.Type {
+		case "schema":
+			var js jsonSchema
+			if err := json.Unmarshal(raw, &js); err != nil {
+				return nil, fmt.Errorf("table: line %d: %w", line, err)
+			}
+			cols := make([]Column, 0, len(js.Columns))
+			for _, c := range js.Columns {
+				k, err := kindFromName(c.Kind)
+				if err != nil {
+					return nil, fmt.Errorf("table: line %d: %w", line, err)
+				}
+				cols = append(cols, Column{Name: c.Name, Kind: k})
+			}
+			if err := db.Add(NewRelation(js.Relation, NewSchema(cols...))); err != nil {
+				return nil, fmt.Errorf("table: line %d: %w", line, err)
+			}
+		case "row":
+			var jr jsonRow
+			if err := json.Unmarshal(raw, &jr); err != nil {
+				return nil, fmt.Errorf("table: line %d: %w", line, err)
+			}
+			rel, ok := db.Relation(jr.Relation)
+			if !ok {
+				return nil, fmt.Errorf("table: line %d: row for undeclared relation %q", line, jr.Relation)
+			}
+			tup := make(Tuple, 0, len(jr.Values))
+			for _, jv := range jr.Values {
+				v, err := decodeValue(jv)
+				if err != nil {
+					return nil, fmt.Errorf("table: line %d: %w", line, err)
+				}
+				tup = append(tup, v)
+			}
+			var meta Metadata
+			if jr.Meta != nil {
+				meta = Metadata(jr.Meta)
+			}
+			if _, err := rel.Append(tup, meta); err != nil {
+				return nil, fmt.Errorf("table: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("table: line %d: unknown record type %q", line, head.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,109 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func dumpDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	rel := NewRelation("facts", NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "name", Kind: KindString},
+		Column{Name: "score", Kind: KindFloat},
+		Column{Name: "when", Kind: KindDate},
+		Column{Name: "note", Kind: KindString},
+	))
+	rel.MustAppend(Tuple{Int(1), String_("alpha"), Float(0.5), Date(2020, 3, 4), Null()},
+		Metadata{"source": "a.com"})
+	rel.MustAppend(Tuple{Int(2), String_("beta \"quoted\"\nline"), Float(-3.25), Null(), String_("x")}, nil)
+	db.MustAdd(rel)
+
+	empty := NewRelation("empty", NewSchema(Column{Name: "x", Kind: KindInt}))
+	db.MustAdd(empty)
+	return db
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	db := dumpDB(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Names(), db.Names(); len(got) != len(want) {
+		t.Fatalf("relations = %v, want %v", got, want)
+	}
+	for _, name := range db.Names() {
+		orig, _ := db.Relation(name)
+		rt, ok := back.Relation(name)
+		if !ok {
+			t.Fatalf("relation %s lost", name)
+		}
+		if rt.Len() != orig.Len() {
+			t.Fatalf("%s: %d rows, want %d", name, rt.Len(), orig.Len())
+		}
+		if rt.Schema().String() != orig.Schema().String() {
+			t.Fatalf("%s: schema %s, want %s", name, rt.Schema(), orig.Schema())
+		}
+		for i := 0; i < orig.Len(); i++ {
+			if rt.At(i).Key() != orig.At(i).Key() {
+				t.Fatalf("%s row %d: %v != %v", name, i, rt.At(i), orig.At(i))
+			}
+			om, rm := orig.MetaAt(i), rt.MetaAt(i)
+			if len(om) != len(rm) {
+				t.Fatalf("%s row %d metadata mismatch", name, i)
+			}
+			for k, v := range om {
+				if rm[k] != v {
+					t.Fatalf("%s row %d metadata[%s] = %q, want %q", name, i, k, rm[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"garbage", "not json\n"},
+		{"unknown type", `{"type":"wat"}` + "\n"},
+		{"row before schema", `{"type":"row","relation":"r","values":[]}` + "\n"},
+		{"bad kind", `{"type":"schema","relation":"r","columns":[{"name":"x","kind":"blob"}]}` + "\n"},
+		{"bad value tag", `{"type":"schema","relation":"r","columns":[{"name":"x","kind":"int"}]}` + "\n" +
+			`{"type":"row","relation":"r","values":[{"t":"wat"}]}` + "\n"},
+		{"missing payload", `{"type":"schema","relation":"r","columns":[{"name":"x","kind":"int"}]}` + "\n" +
+			`{"type":"row","relation":"r","values":[{"t":"int"}]}` + "\n"},
+		{"arity mismatch", `{"type":"schema","relation":"r","columns":[{"name":"x","kind":"int"}]}` + "\n" +
+			`{"type":"row","relation":"r","values":[]}` + "\n"},
+		{"duplicate schema", `{"type":"schema","relation":"r","columns":[{"name":"x","kind":"int"}]}` + "\n" +
+			`{"type":"schema","relation":"r","columns":[{"name":"x","kind":"int"}]}` + "\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(c.input)); err == nil {
+				t.Fatalf("ReadJSON accepted %q", c.input)
+			}
+		})
+	}
+}
+
+func TestReadJSONSkipsBlankLines(t *testing.T) {
+	input := `{"type":"schema","relation":"r","columns":[{"name":"x","kind":"int"}]}` + "\n\n" +
+		`{"type":"row","relation":"r","values":[{"t":"int","i":7}]}` + "\n"
+	db, err := ReadJSON(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := db.Relation("r")
+	if rel.Len() != 1 || rel.At(0)[0].AsInt() != 7 {
+		t.Fatal("row lost")
+	}
+}

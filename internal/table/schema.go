@@ -1,0 +1,213 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of named, typed columns with O(1) lookup by
+// name. Column names are case-insensitive, as in SQL.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from columns. Duplicate column names are
+// rejected with a panic since schemas are always constructed from static
+// catalog definitions or by the engine, where a duplicate is a programming
+// error.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.index[key]; dup {
+			panic(fmt.Sprintf("table: duplicate column %q in schema", c.Name))
+		}
+		s.index[key] = i
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns all columns; the slice must not be modified.
+func (s *Schema) Columns() []Column { return s.cols }
+
+// Index returns the position of the named column (case-insensitive).
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Tuple is a row of values aligned with a schema.
+type Tuple []Value
+
+// Key returns a canonical byte-string key identifying the tuple's values,
+// used for DISTINCT, UNION and join hashing.
+func (t Tuple) Key() string {
+	buf := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		buf = v.EncodeKey(buf)
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Metadata is the set of metadata attributes of one tuple (paper Definition
+// 4.1): attribute name → value. Typical attributes are the data source, the
+// relation name, the entity, and content-derived attributes. Metadata is
+// what the Learner trains on.
+type Metadata map[string]string
+
+// Clone returns an independent copy of m.
+func (m Metadata) Clone() Metadata {
+	out := make(Metadata, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Relation is a named multiset of tuples over a schema, with optional
+// per-tuple metadata. Tuples are addressed by dense index, which the
+// uncertain layer uses to align tuples with their Boolean variables.
+type Relation struct {
+	name   string
+	schema *Schema
+	tuples []Tuple
+	meta   []Metadata
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, schema *Schema) *Relation {
+	return &Relation{name: name, schema: schema}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// At returns the i-th tuple. The returned slice must not be modified.
+func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+
+// MetaAt returns the metadata of the i-th tuple (nil if none was attached).
+func (r *Relation) MetaAt(i int) Metadata {
+	if i >= len(r.meta) {
+		return nil
+	}
+	return r.meta[i]
+}
+
+// Append adds a tuple with optional metadata and returns its index. The
+// tuple arity must match the schema.
+func (r *Relation) Append(t Tuple, meta Metadata) (int, error) {
+	if len(t) != r.schema.Len() {
+		return 0, fmt.Errorf("table: tuple arity %d does not match schema %s of %s",
+			len(t), r.schema, r.name)
+	}
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	for len(r.meta) < idx {
+		r.meta = append(r.meta, nil)
+	}
+	r.meta = append(r.meta, meta)
+	return idx, nil
+}
+
+// MustAppend is Append for statically known-correct tuples; it panics on
+// arity mismatch.
+func (r *Relation) MustAppend(t Tuple, meta Metadata) int {
+	idx, err := r.Append(t, meta)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// Database is a named collection of relations preserving insertion order.
+type Database struct {
+	relations map[string]*Relation
+	order     []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{relations: make(map[string]*Relation)}
+}
+
+// Add registers a relation; a second relation under the same
+// (case-insensitive) name is an error.
+func (db *Database) Add(r *Relation) error {
+	key := strings.ToLower(r.Name())
+	if _, dup := db.relations[key]; dup {
+		return fmt.Errorf("table: relation %q already exists", r.Name())
+	}
+	db.relations[key] = r
+	db.order = append(db.order, key)
+	return nil
+}
+
+// MustAdd is Add that panics on duplicates, for static catalog setup.
+func (db *Database) MustAdd(r *Relation) {
+	if err := db.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Relation looks up a relation by (case-insensitive) name.
+func (db *Database) Relation(name string) (*Relation, bool) {
+	r, ok := db.relations[strings.ToLower(name)]
+	return r, ok
+}
+
+// Names returns the relation names in insertion order.
+func (db *Database) Names() []string {
+	return append([]string(nil), db.order...)
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (db *Database) TotalTuples() int {
+	n := 0
+	for _, key := range db.order {
+		n += db.relations[key].Len()
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "Acquired", Kind: KindString},
+		Column{Name: "Acquiring", Kind: KindString},
+		Column{Name: "Date", Kind: KindDate},
+	)
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("acquired"); !ok || i != 0 {
+		t.Error("case-insensitive lookup failed")
+	}
+	if i, ok := s.Index("DATE"); !ok || i != 2 {
+		t.Error("uppercase lookup failed")
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("lookup of missing column succeeded")
+	}
+	if s.Column(1).Name != "Acquiring" {
+		t.Error("Column(1) wrong")
+	}
+	if !strings.Contains(s.String(), "Date DATE") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column did not panic")
+		}
+	}()
+	NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "A", Kind: KindInt})
+}
+
+func TestRelationAppend(t *testing.T) {
+	r := NewRelation("Acquisitions", testSchema())
+	idx, err := r.Append(Tuple{String_("A2Bdone"), String_("Zazzer"), Date(2020, 11, 7)},
+		Metadata{"source": "example.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 || r.Len() != 1 {
+		t.Fatalf("idx=%d len=%d", idx, r.Len())
+	}
+	if got := r.At(0)[0].AsString(); got != "A2Bdone" {
+		t.Errorf("At(0)[0] = %q", got)
+	}
+	if r.MetaAt(0)["source"] != "example.com" {
+		t.Error("metadata lost")
+	}
+	if _, err := r.Append(Tuple{Int(1)}, nil); err == nil {
+		t.Error("arity mismatch not rejected")
+	}
+	// Tuples without metadata are fine.
+	r.MustAppend(Tuple{String_("x"), String_("y"), Null()}, nil)
+	if r.MetaAt(1) != nil {
+		t.Error("expected nil metadata")
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	r := NewRelation("r", testSchema())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAppend with wrong arity did not panic")
+		}
+	}()
+	r.MustAppend(Tuple{Int(1)}, nil)
+}
+
+func TestTupleKeyDistinct(t *testing.T) {
+	a := Tuple{String_("x"), Int(1)}
+	b := Tuple{String_("x"), Int(1)}
+	c := Tuple{String_("x"), Int(2)}
+	if a.Key() != b.Key() {
+		t.Error("equal tuples must share a key")
+	}
+	if a.Key() == c.Key() {
+		t.Error("distinct tuples must not share a key")
+	}
+	// Concatenation ambiguity: ("ab","c") vs ("a","bc").
+	d := Tuple{String_("ab"), String_("c")}
+	e := Tuple{String_("a"), String_("bc")}
+	if d.Key() == e.Key() {
+		t.Error("key encoding is ambiguous across column boundaries")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	r1 := NewRelation("Roles", NewSchema(Column{Name: "Org", Kind: KindString}))
+	db.MustAdd(r1)
+	if err := db.Add(NewRelation("roles", NewSchema())); err == nil {
+		t.Error("case-insensitive duplicate relation accepted")
+	}
+	got, ok := db.Relation("ROLES")
+	if !ok || got != r1 {
+		t.Error("case-insensitive relation lookup failed")
+	}
+	r1.MustAppend(Tuple{String_("A2Bdone")}, nil)
+	r2 := NewRelation("Education", NewSchema(Column{Name: "Alumni", Kind: KindString}))
+	r2.MustAppend(Tuple{String_("Usha")}, nil)
+	r2.MustAppend(Tuple{String_("Pavel")}, nil)
+	db.MustAdd(r2)
+	if db.TotalTuples() != 3 {
+		t.Errorf("TotalTuples = %d, want 3", db.TotalTuples())
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "roles" || names[1] != "education" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMetadataClone(t *testing.T) {
+	m := Metadata{"a": "1"}
+	c := m.Clone()
+	c["a"] = "2"
+	if m["a"] != "1" {
+		t.Error("Clone not independent")
+	}
+}

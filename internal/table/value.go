@@ -1,0 +1,258 @@
+// Package table implements the in-memory typed relational store underlying
+// the uncertain-database model: typed values, schemas, tuples, relations and
+// databases, together with per-tuple metadata attributes (paper Definition
+// 4.1) that the Learner uses to estimate correctness probabilities.
+//
+// The paper's prototype stored data in MongoDB; here the store is a plain
+// in-memory columnar-agnostic row store, which is all the resolution
+// framework needs and keeps the repository free of external dependencies.
+package table
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types supported by the store. The set covers
+// everything the paper's workloads need: NELL facts are strings, TPC-H
+// mixes integers, decimals, strings and dates.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed SQL value. The zero value is NULL.
+//
+// Dates are stored as the integer yyyymmdd (e.g. 2020-11-07 is 20201107):
+// the encoding is totally ordered by calendar date, makes year extraction a
+// division, and avoids pulling time-zone semantics into the query engine.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named with a trailing underscore because
+// Value.String is the fmt.Stringer method.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Date returns a date value for the given calendar day.
+func Date(year, month, day int) Value {
+	return Value{kind: KindDate, i: int64(year)*10000 + int64(month)*100 + int64(day)}
+}
+
+// DateFromOrdinal builds a date value from an already-encoded yyyymmdd
+// integer.
+func DateFromOrdinal(yyyymmdd int64) Value {
+	return Value{kind: KindDate, i: yyyymmdd}
+}
+
+// Kind reports the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; valid for KindInt and KindDate.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns v as a float64, coercing integers and dates.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt, KindDate:
+		return float64(v.i)
+	default:
+		return 0
+	}
+}
+
+// AsString returns the string payload; valid for KindString.
+func (v Value) AsString() string { return v.s }
+
+// Year returns the calendar year of a date value, or 0 for other kinds.
+// It implements the paper's year(a.Date) predicate function.
+func (v Value) Year() int64 {
+	if v.kind != KindDate {
+		return 0
+	}
+	return v.i / 10000
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindDate:
+		return fmt.Sprintf("%04d-%02d-%02d", v.i/10000, (v.i/100)%100, v.i%100)
+	default:
+		return "?"
+	}
+}
+
+// EncodeKey appends a canonical byte encoding of v to dst, used to build
+// tuple deduplication keys for DISTINCT and UNION. Distinct values never
+// encode equal, and the encoding embeds the kind so Int(1) and Date(1) are
+// distinguished — but numeric int/float values that compare equal encode
+// equal so DISTINCT agrees with Compare.
+func (v Value) EncodeKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 'n')
+	case KindInt:
+		return strconv.AppendInt(append(dst, 'i'), v.i, 10)
+	case KindFloat:
+		if v.f == float64(int64(v.f)) {
+			// Integral float: encode like the equal integer.
+			return strconv.AppendInt(append(dst, 'i'), int64(v.f), 10)
+		}
+		return strconv.AppendFloat(append(dst, 'f'), v.f, 'b', -1, 64)
+	case KindString:
+		dst = append(dst, 's')
+		dst = strconv.AppendInt(dst, int64(len(v.s)), 10)
+		dst = append(dst, ':')
+		return append(dst, v.s...)
+	case KindDate:
+		return strconv.AppendInt(append(dst, 'd'), v.i, 10)
+	default:
+		return append(dst, '?')
+	}
+}
+
+// Comparable reports whether values of kinds a and b can be ordered against
+// each other: numeric kinds (int, float, date) are mutually comparable, and
+// strings compare with strings.
+func Comparable(a, b Kind) bool {
+	num := func(k Kind) bool { return k == KindInt || k == KindFloat || k == KindDate }
+	if num(a) && num(b) {
+		return true
+	}
+	return a == KindString && b == KindString
+}
+
+// Compare orders a against b, returning -1, 0 or +1. NULL compares equal to
+// NULL and less than everything else (a total order convenient for sorting;
+// SQL three-valued logic for predicates is handled by the engine, which
+// rejects NULL comparisons before calling Compare). Comparing a string with
+// a number returns an error.
+func Compare(a, b Value) (int, error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0, nil
+		case a.kind == KindNull:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if !Comparable(a.kind, b.kind) {
+		return 0, fmt.Errorf("table: cannot compare %s with %s", a.kind, b.kind)
+	}
+	if a.kind == KindString {
+		return strings.Compare(a.s, b.s), nil
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch {
+	case af < bf:
+		return -1, nil
+	case af > bf:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// Equal reports whether two values compare equal. Values of incomparable
+// kinds are unequal (never an error), which matches SQL join semantics
+// where a type mismatch simply fails to match.
+func Equal(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return false // SQL: NULL = anything is unknown, treated as no match.
+	}
+	if !Comparable(a.kind, b.kind) {
+		return false
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Like reports whether s matches the SQL LIKE pattern: '%' matches any
+// (possibly empty) substring and '_' matches exactly one byte. Matching is
+// case-insensitive (as in MySQL's default collation): the paper's queries
+// rely on this, e.g. r.Role LIKE '%found%' matching "Founder" and
+// "Co-founder" in the running example (Tables 1–2).
+func Like(s, pattern string) bool {
+	return likeMatch(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative two-pointer matcher with backtracking on the last '%',
+	// the standard O(len(s)·len(p)) wildcard algorithm.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

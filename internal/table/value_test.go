@@ -1,0 +1,170 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{Int(42), KindInt, "42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{String_("abc"), KindString, "abc"},
+		{Date(2020, 11, 7), KindDate, "2020-11-07"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+}
+
+func TestDateEncoding(t *testing.T) {
+	d := Date(2017, 1, 5)
+	if d.AsInt() != 20170105 {
+		t.Errorf("AsInt = %d", d.AsInt())
+	}
+	if d.Year() != 2017 {
+		t.Errorf("Year = %d", d.Year())
+	}
+	if Int(5).Year() != 0 {
+		t.Error("Year of non-date must be 0")
+	}
+	d2 := DateFromOrdinal(20170105)
+	if !Equal(d, d2) {
+		t.Error("DateFromOrdinal mismatch")
+	}
+	// Date ordering follows calendar order.
+	a, b := Date(2016, 12, 31), Date(2017, 1, 1)
+	if c, err := Compare(a, b); err != nil || c != -1 {
+		t.Errorf("Compare(%v,%v) = %d, %v", a, b, c, err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b    Value
+		want    int
+		wantErr bool
+	}{
+		{Int(1), Int(2), -1, false},
+		{Int(2), Int(2), 0, false},
+		{Int(3), Int(2), 1, false},
+		{Int(1), Float(1.5), -1, false},
+		{Float(2.0), Int(2), 0, false},
+		{String_("a"), String_("b"), -1, false},
+		{String_("b"), String_("b"), 0, false},
+		{Int(1), String_("a"), 0, true},
+		{Null(), Null(), 0, false},
+		{Null(), Int(1), -1, false},
+		{Int(1), Null(), 1, false},
+		{Date(2017, 1, 1), Int(20170101), 0, false},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Compare(%v,%v) err = %v, wantErr=%t", c.a, c.b, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(1), Int(1)) || Equal(Int(1), Int(2)) {
+		t.Error("int equality wrong")
+	}
+	if !Equal(Int(2), Float(2.0)) {
+		t.Error("numeric coercion equality wrong")
+	}
+	if Equal(Null(), Null()) {
+		t.Error("NULL = NULL must not match (SQL semantics)")
+	}
+	if Equal(Int(1), String_("1")) {
+		t.Error("cross-kind equality must not match")
+	}
+	if !Equal(String_("x"), String_("x")) {
+		t.Error("string equality wrong")
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"Founder", "%found%", true}, // case-insensitive, as in the paper
+		{"founder", "%FOUND%", true},
+		{"Co-founder", "%found%", true},
+		{"Founding member", "Found%", true},
+		{"CTO", "%found%", false},
+		{"abc", "abc", true},
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "%", true},
+		{"", "%", true},
+		{"", "", true},
+		{"", "_", false},
+		{"sport", "%sport%", true},
+		{"hobby", "%sport%", false},
+		{"aXbXc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+		{"mississippi", "%iss%pi", true},
+		{"mississippi", "%iss%zi", false},
+	}
+	for _, c := range cases {
+		if got := Like(c.s, c.p); got != c.want {
+			t.Errorf("Like(%q, %q) = %t, want %t", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// EncodeKey must be injective up to value equality: two values encode to
+// the same key iff they are Compare-equal (for comparable kinds).
+func TestEncodeKeyAgreesWithCompare(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		ka := string(va.EncodeKey(nil))
+		kb := string(vb.EncodeKey(nil))
+		return (ka == kb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Int/float agreement for integral floats.
+	if string(Int(3).EncodeKey(nil)) != string(Float(3).EncodeKey(nil)) {
+		t.Error("Int(3) and Float(3) should share a key (they compare equal)")
+	}
+	// Kinds are distinguished.
+	if string(Int(20170101).EncodeKey(nil)) == string(Date(2017, 1, 1).EncodeKey(nil)) {
+		t.Error("date and int should have distinct keys for grouping")
+	}
+	if string(String_("1").EncodeKey(nil)) == string(Int(1).EncodeKey(nil)) {
+		t.Error("string and int keys must differ")
+	}
+}
+
+func TestComparableMatrix(t *testing.T) {
+	if !Comparable(KindInt, KindFloat) || !Comparable(KindDate, KindInt) {
+		t.Error("numeric kinds must be comparable")
+	}
+	if !Comparable(KindString, KindString) {
+		t.Error("strings comparable with strings")
+	}
+	if Comparable(KindString, KindInt) || Comparable(KindNull, KindInt) {
+		t.Error("cross-family kinds must not be comparable")
+	}
+}

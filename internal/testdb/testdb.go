@@ -1,0 +1,116 @@
+// Package testdb provides the paper's running example (Tables 1–2 and the
+// Figure 2 query) as a reusable fixture for tests, examples and the demo
+// binary. Keeping it in one place lets every layer of the system be checked
+// against the exact provenance expressions printed in the paper.
+package testdb
+
+import (
+	"qres/internal/engine"
+	"qres/internal/table"
+	"qres/internal/uncertain"
+)
+
+// PaperDatabase builds the example database of the paper's Table 1:
+// Acquisitions (a0–a3), Roles (r0–r5) and Education (e0–e5).
+func PaperDatabase() *table.Database {
+	db := table.NewDatabase()
+
+	acq := table.NewRelation("Acquisitions", table.NewSchema(
+		table.Column{Name: "Acquired", Kind: table.KindString},
+		table.Column{Name: "Acquiring", Kind: table.KindString},
+		table.Column{Name: "Date", Kind: table.KindDate},
+	))
+	acqRows := []struct {
+		acquired, acquiring string
+		y, m, d             int
+		source              string
+	}{
+		{"A2Bdone", "Zazzer", 2020, 11, 7, "example.com"},
+		{"microBarg", "Fiffer", 2017, 5, 1, "bizwire.example"},
+		{"fPharm", "Fiffer", 2016, 2, 1, "bizwire.example"},
+		{"Optobest", "microBarg", 2015, 8, 8, "example.com"},
+	}
+	for _, r := range acqRows {
+		acq.MustAppend(
+			table.Tuple{table.String_(r.acquired), table.String_(r.acquiring), table.Date(r.y, r.m, r.d)},
+			table.Metadata{"source": r.source, "has_value": r.acquired},
+		)
+	}
+	db.MustAdd(acq)
+
+	roles := table.NewRelation("Roles", table.NewSchema(
+		table.Column{Name: "Organization", Kind: table.KindString},
+		table.Column{Name: "Role", Kind: table.KindString},
+		table.Column{Name: "Member", Kind: table.KindString},
+	))
+	for _, r := range [][3]string{
+		{"A2Bdone", "Founder", "Usha Koirala"},
+		{"A2Bdone", "Founding member", "Pavel Lebedev"},
+		{"A2Bdone", "Founding member", "Nana Alvi"},
+		{"microBarg", "Co-founder", "Nana Alvi"},
+		{"microBarg", "Co-founder", "Gao Yawen"},
+		{"microBarg", "CTO", "Amaal Kader"},
+	} {
+		roles.MustAppend(
+			table.Tuple{table.String_(r[0]), table.String_(r[1]), table.String_(r[2])},
+			table.Metadata{"source": "people.example", "has_value": r[2]},
+		)
+	}
+	db.MustAdd(roles)
+
+	edu := table.NewRelation("Education", table.NewSchema(
+		table.Column{Name: "Alumni", Kind: table.KindString},
+		table.Column{Name: "Institute", Kind: table.KindString},
+		table.Column{Name: "Year", Kind: table.KindInt},
+	))
+	for _, r := range []struct {
+		alumni, inst string
+		year         int64
+	}{
+		{"Usha Koirala", "U. Melbourne", 2017},
+		{"Pavel Lebedev", "U. Melbourne", 2017},
+		{"Nana Alvi", "U. Sau Paolo", 2010},
+		{"Nana Alvi", "U. Melbourne", 2017},
+		{"Gao Yawen", "U. Sau Paolo", 2010},
+		{"Amaal Kader", "U. Cape Town", 2005},
+	} {
+		edu.MustAppend(
+			table.Tuple{table.String_(r.alumni), table.String_(r.inst), table.Int(r.year)},
+			table.Metadata{"source": "alumni.example", "has_value": r.alumni},
+		)
+	}
+	db.MustAdd(edu)
+	return db
+}
+
+// PaperUncertainDB returns the uncertain version of the paper database,
+// with one Boolean variable per tuple.
+func PaperUncertainDB() *uncertain.DB {
+	return uncertain.New(PaperDatabase())
+}
+
+// PaperQuery builds the Figure 2 query as an algebra plan:
+//
+//	SELECT DISTINCT a.Acquired, e.Institute
+//	FROM Acquisitions AS a, Roles AS r, Education AS e
+//	WHERE a.Acquired = r.Organization AND r.Member = e.Alumni
+//	  AND a.Date >= 2017-01-01 AND r.Role LIKE '%found%'
+//	  AND e.Year <= year(a.Date)
+func PaperQuery() engine.Node {
+	ar := engine.Join(
+		engine.Scan("Acquisitions", "a"),
+		engine.Scan("Roles", "r"),
+		engine.Cmp(engine.Col("a", "Acquired"), engine.OpEq, engine.Col("r", "Organization")),
+	)
+	are := engine.Join(
+		ar,
+		engine.Scan("Education", "e"),
+		engine.Cmp(engine.Col("r", "Member"), engine.OpEq, engine.Col("e", "Alumni")),
+	)
+	filtered := engine.Select(are, engine.And(
+		engine.Cmp(engine.Col("a", "Date"), engine.OpGe, engine.Const(table.Date(2017, 1, 1))),
+		engine.Like(engine.Col("r", "Role"), "%found%"),
+		engine.Cmp(engine.Col("e", "Year"), engine.OpLe, engine.Year(engine.Col("a", "Date"))),
+	))
+	return engine.Project(filtered, true, engine.Col("a", "Acquired"), engine.Col("e", "Institute"))
+}

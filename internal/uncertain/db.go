@@ -1,0 +1,162 @@
+// Package uncertain implements the uncertain-database model of the paper
+// (Section 2.1): a relational database D together with a set X of Boolean
+// random variables and an injective labeling L mapping each tuple to the
+// variable standing for the event that the tuple is correct. A truth
+// valuation of X yields a possible world — the sub-database of tuples whose
+// variables are True.
+//
+// The package also provides ground-truth generators (Section 7.1): the
+// paper evaluates on data with manual labels (NELL) and on synthetic labels
+// drawn either with a fixed probability or from a hidden random decision
+// tree over tuple metadata, which makes correctness learnable from
+// metadata, exactly the structure the framework's Learner exploits.
+package uncertain
+
+import (
+	"fmt"
+
+	"qres/internal/boolexpr"
+	"qres/internal/table"
+)
+
+// TupleRef addresses one tuple of one relation.
+type TupleRef struct {
+	Relation string // canonical (lower-case) relation name
+	Index    int    // dense tuple index within the relation
+}
+
+// DB is an uncertain database: relational data plus the variable labeling
+// L. Constructing a DB allocates one Boolean variable per tuple, named
+// "<relation>[<index>]".
+type DB struct {
+	data *table.Database
+	reg  *boolexpr.Registry
+	vars map[string][]boolexpr.Var // relation name -> per-tuple variables
+	refs []TupleRef                // Var -> tuple (inverse of L)
+}
+
+// New annotates every tuple of data with a fresh Boolean variable and
+// returns the uncertain database.
+func New(data *table.Database) *DB {
+	db := &DB{
+		data: data,
+		reg:  boolexpr.NewRegistry(),
+		vars: make(map[string][]boolexpr.Var),
+	}
+	for _, name := range data.Names() {
+		rel, _ := data.Relation(name)
+		vs := make([]boolexpr.Var, rel.Len())
+		for i := 0; i < rel.Len(); i++ {
+			v := db.reg.Intern(fmt.Sprintf("%s[%d]", name, i))
+			vs[i] = v
+			db.refs = append(db.refs, TupleRef{Relation: name, Index: i})
+		}
+		db.vars[name] = vs
+	}
+	return db
+}
+
+// Data returns the underlying relational database.
+func (db *DB) Data() *table.Database { return db.data }
+
+// Registry returns the variable registry (for rendering provenance).
+func (db *DB) Registry() *boolexpr.Registry { return db.reg }
+
+// NumVars returns |X|, the number of tuple variables.
+func (db *DB) NumVars() int { return len(db.refs) }
+
+// VarFor returns L(t) for the tuple at index idx of the named relation.
+func (db *DB) VarFor(relation string, idx int) (boolexpr.Var, bool) {
+	rel, ok := db.data.Relation(relation)
+	if !ok || idx < 0 || idx >= rel.Len() {
+		return 0, false
+	}
+	// The vars map is keyed by the canonical names returned by Names().
+	for name, vs := range db.vars {
+		r, _ := db.data.Relation(name)
+		if r == rel {
+			return vs[idx], true
+		}
+	}
+	return 0, false
+}
+
+// RefFor returns the tuple labeled by v (the inverse of L).
+func (db *DB) RefFor(v boolexpr.Var) (TupleRef, bool) {
+	if int(v) < 0 || int(v) >= len(db.refs) {
+		return TupleRef{}, false
+	}
+	return db.refs[v], true
+}
+
+// TupleFor returns the tuple labeled by v.
+func (db *DB) TupleFor(v boolexpr.Var) (table.Tuple, bool) {
+	ref, ok := db.RefFor(v)
+	if !ok {
+		return nil, false
+	}
+	rel, _ := db.data.Relation(ref.Relation)
+	return rel.At(ref.Index), true
+}
+
+// MetaFor returns the metadata of the tuple labeled by v, always including
+// the derived attribute "rel_name" (the paper's Example 4.1 lists relation
+// name as metadata derivable from the data itself). The stored metadata is
+// not modified.
+func (db *DB) MetaFor(v boolexpr.Var) table.Metadata {
+	ref, ok := db.RefFor(v)
+	if !ok {
+		return nil
+	}
+	rel, _ := db.data.Relation(ref.Relation)
+	stored := rel.MetaAt(ref.Index)
+	out := make(table.Metadata, len(stored)+1)
+	for k, val := range stored {
+		out[k] = val
+	}
+	out["rel_name"] = ref.Relation
+	return out
+}
+
+// Vars returns the variables of one relation, aligned with tuple indices.
+func (db *DB) Vars(relation string) []boolexpr.Var {
+	rel, ok := db.data.Relation(relation)
+	if !ok {
+		return nil
+	}
+	for name, vs := range db.vars {
+		r, _ := db.data.Relation(name)
+		if r == rel {
+			return vs
+		}
+	}
+	return nil
+}
+
+// AllVars returns every tuple variable, in allocation order.
+func (db *DB) AllVars() []boolexpr.Var {
+	out := make([]boolexpr.Var, len(db.refs))
+	for i := range db.refs {
+		out[i] = boolexpr.Var(i)
+	}
+	return out
+}
+
+// PossibleWorld materializes D_val: the sub-database containing exactly the
+// tuples whose variables are assigned True (Definition 2.2). Unassigned
+// variables are treated as False. Metadata is carried over; tuple indices
+// change, so the world is a plain relational database, not an uncertain one.
+func (db *DB) PossibleWorld(val *boolexpr.Valuation) *table.Database {
+	world := table.NewDatabase()
+	for _, name := range db.data.Names() {
+		rel, _ := db.data.Relation(name)
+		out := table.NewRelation(rel.Name(), rel.Schema())
+		for i := 0; i < rel.Len(); i++ {
+			if value, ok := val.Get(db.vars[name][i]); ok && value {
+				out.MustAppend(rel.At(i), rel.MetaAt(i))
+			}
+		}
+		world.MustAdd(out)
+	}
+	return world
+}

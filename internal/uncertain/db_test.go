@@ -1,0 +1,272 @@
+package uncertain
+
+import (
+	"testing"
+
+	"qres/internal/boolexpr"
+	"qres/internal/table"
+)
+
+// paperDB builds the example database of the paper's Table 1.
+func paperDB() *table.Database {
+	db := table.NewDatabase()
+
+	acq := table.NewRelation("Acquisitions", table.NewSchema(
+		table.Column{Name: "Acquired", Kind: table.KindString},
+		table.Column{Name: "Acquiring", Kind: table.KindString},
+		table.Column{Name: "Date", Kind: table.KindDate},
+	))
+	acq.MustAppend(table.Tuple{table.String_("A2Bdone"), table.String_("Zazzer"), table.Date(2020, 11, 7)},
+		table.Metadata{"source": "example.com"})
+	acq.MustAppend(table.Tuple{table.String_("microBarg"), table.String_("Fiffer"), table.Date(2017, 5, 1)}, nil)
+	acq.MustAppend(table.Tuple{table.String_("fPharm"), table.String_("Fiffer"), table.Date(2016, 2, 1)}, nil)
+	acq.MustAppend(table.Tuple{table.String_("Optobest"), table.String_("microBarg"), table.Date(2015, 8, 8)}, nil)
+	db.MustAdd(acq)
+
+	roles := table.NewRelation("Roles", table.NewSchema(
+		table.Column{Name: "Organization", Kind: table.KindString},
+		table.Column{Name: "Role", Kind: table.KindString},
+		table.Column{Name: "Member", Kind: table.KindString},
+	))
+	for _, row := range [][3]string{
+		{"A2Bdone", "Founder", "Usha Koirala"},
+		{"A2Bdone", "Founding member", "Pavel Lebedev"},
+		{"A2Bdone", "Founding member", "Nana Alvi"},
+		{"microBarg", "Co-founder", "Nana Alvi"},
+		{"microBarg", "Co-founder", "Gao Yawen"},
+		{"microBarg", "CTO", "Amaal Kader"},
+	} {
+		roles.MustAppend(table.Tuple{table.String_(row[0]), table.String_(row[1]), table.String_(row[2])}, nil)
+	}
+	db.MustAdd(roles)
+
+	edu := table.NewRelation("Education", table.NewSchema(
+		table.Column{Name: "Alumni", Kind: table.KindString},
+		table.Column{Name: "Institute", Kind: table.KindString},
+		table.Column{Name: "Year", Kind: table.KindInt},
+	))
+	for _, row := range []struct {
+		a, i string
+		y    int64
+	}{
+		{"Usha Koirala", "U. Melbourne", 2017},
+		{"Pavel Lebedev", "U. Melbourne", 2017},
+		{"Nana Alvi", "U. Sau Paolo", 2010},
+		{"Nana Alvi", "U. Melbourne", 2017},
+		{"Gao Yawen", "U. Sau Paolo", 2010},
+		{"Amaal Kader", "U. Cape Town", 2005},
+	} {
+		edu.MustAppend(table.Tuple{table.String_(row.a), table.String_(row.i), table.Int(row.y)}, nil)
+	}
+	db.MustAdd(edu)
+	return db
+}
+
+func TestNewAnnotatesEveryTuple(t *testing.T) {
+	udb := New(paperDB())
+	if udb.NumVars() != 16 { // 4 + 6 + 6
+		t.Fatalf("NumVars = %d, want 16", udb.NumVars())
+	}
+	v, ok := udb.VarFor("Acquisitions", 0)
+	if !ok {
+		t.Fatal("VarFor failed")
+	}
+	ref, ok := udb.RefFor(v)
+	if !ok || ref.Relation != "acquisitions" || ref.Index != 0 {
+		t.Fatalf("RefFor = %+v", ref)
+	}
+	tup, ok := udb.TupleFor(v)
+	if !ok || tup[0].AsString() != "A2Bdone" {
+		t.Fatalf("TupleFor = %v", tup)
+	}
+	// Variables are distinct across tuples (L is injective).
+	seen := make(map[boolexpr.Var]bool)
+	for _, name := range udb.Data().Names() {
+		for i, vv := range udb.Vars(name) {
+			if seen[vv] {
+				t.Fatalf("variable reused for %s[%d]", name, i)
+			}
+			seen[vv] = true
+		}
+	}
+}
+
+func TestVarForOutOfRange(t *testing.T) {
+	udb := New(paperDB())
+	if _, ok := udb.VarFor("Acquisitions", 99); ok {
+		t.Error("out-of-range index accepted")
+	}
+	if _, ok := udb.VarFor("Nope", 0); ok {
+		t.Error("unknown relation accepted")
+	}
+	if _, ok := udb.RefFor(boolexpr.Var(9999)); ok {
+		t.Error("unknown var accepted")
+	}
+}
+
+func TestMetaForAddsRelName(t *testing.T) {
+	udb := New(paperDB())
+	v, _ := udb.VarFor("Acquisitions", 0)
+	meta := udb.MetaFor(v)
+	if meta["rel_name"] != "acquisitions" {
+		t.Errorf("rel_name = %q", meta["rel_name"])
+	}
+	if meta["source"] != "example.com" {
+		t.Errorf("source = %q", meta["source"])
+	}
+	// Stored metadata must not be mutated.
+	rel, _ := udb.Data().Relation("Acquisitions")
+	if _, has := rel.MetaAt(0)["rel_name"]; has {
+		t.Error("MetaFor mutated stored metadata")
+	}
+}
+
+func TestPossibleWorld(t *testing.T) {
+	udb := New(paperDB())
+	val := boolexpr.NewValuation()
+	// Only the first Acquisitions tuple and the first Roles tuple correct.
+	a0, _ := udb.VarFor("Acquisitions", 0)
+	r0, _ := udb.VarFor("Roles", 0)
+	val.Set(a0, true)
+	val.Set(r0, true)
+	// Explicit False and unassigned must behave identically.
+	a1, _ := udb.VarFor("Acquisitions", 1)
+	val.Set(a1, false)
+
+	world := udb.PossibleWorld(val)
+	acq, _ := world.Relation("Acquisitions")
+	if acq.Len() != 1 || acq.At(0)[0].AsString() != "A2Bdone" {
+		t.Fatalf("world Acquisitions = %d tuples", acq.Len())
+	}
+	roles, _ := world.Relation("Roles")
+	if roles.Len() != 1 {
+		t.Fatalf("world Roles = %d tuples", roles.Len())
+	}
+	edu, _ := world.Relation("Education")
+	if edu.Len() != 0 {
+		t.Fatalf("world Education = %d tuples", edu.Len())
+	}
+	if world.TotalTuples() != 2 {
+		t.Fatalf("TotalTuples = %d", world.TotalTuples())
+	}
+}
+
+func TestGenerateFixedDeterministic(t *testing.T) {
+	udb := New(paperDB())
+	a := GenerateFixed(udb, 0.5, 42)
+	b := GenerateFixed(udb, 0.5, 42)
+	for _, v := range udb.AllVars() {
+		av, aok := a.Val.Get(v)
+		bv, bok := b.Val.Get(v)
+		if !aok || !bok || av != bv {
+			t.Fatal("same seed must give identical ground truth")
+		}
+		if a.Prob[v] != 0.5 {
+			t.Fatalf("Prob = %f", a.Prob[v])
+		}
+	}
+	c := GenerateFixed(udb, 0.5, 43)
+	diff := false
+	for _, v := range udb.AllVars() {
+		av, _ := a.Val.Get(v)
+		cv, _ := c.Val.Get(v)
+		if av != cv {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds should (with high probability) differ")
+	}
+}
+
+func TestGenerateFixedExtremes(t *testing.T) {
+	udb := New(paperDB())
+	all := GenerateFixed(udb, 1.0, 1)
+	none := GenerateFixed(udb, 0.0, 1)
+	for _, v := range udb.AllVars() {
+		if tv, _ := all.Val.Get(v); !tv {
+			t.Fatal("p=1 must set every variable True")
+		}
+		if fv, _ := none.Val.Get(v); fv {
+			t.Fatal("p=0 must set every variable False")
+		}
+	}
+}
+
+func TestDecisionTreeDeterministicAndBounded(t *testing.T) {
+	attrs := []string{"source", "rel_name", "category"}
+	t1 := NewDecisionTree(attrs, 4, 7)
+	t2 := NewDecisionTree(attrs, 4, 7)
+	metas := []map[string]string{
+		{"source": "a.com", "rel_name": "acquisitions"},
+		{"source": "b.com", "category": "sports"},
+		{},
+	}
+	for _, m := range metas {
+		p1, p2 := t1.Probability(m), t2.Probability(m)
+		if p1 != p2 {
+			t.Fatal("tree not deterministic in seed")
+		}
+		if p1 < 0.05 || p1 > 0.95 {
+			t.Fatalf("leaf probability %f out of range", p1)
+		}
+	}
+	// Identical metadata always maps to the same probability.
+	if t1.Probability(metas[0]) != t1.Probability(map[string]string{"rel_name": "acquisitions", "source": "a.com"}) {
+		t.Fatal("probability must depend only on metadata content")
+	}
+}
+
+func TestGenerateRDTCorrelatesWithMetadata(t *testing.T) {
+	// Two groups of tuples with distinct source metadata; the RDT should
+	// assign each group a single shared probability.
+	db := table.NewDatabase()
+	rel := table.NewRelation("facts", table.NewSchema(table.Column{Name: "v", Kind: table.KindInt}))
+	for i := 0; i < 100; i++ {
+		src := "a.com"
+		if i%2 == 1 {
+			src = "b.com"
+		}
+		rel.MustAppend(table.Tuple{table.Int(int64(i))}, table.Metadata{"source": src})
+	}
+	db.MustAdd(rel)
+	udb := New(db)
+	gt := GenerateRDT(udb, 3, 99)
+	probsBySource := make(map[string]map[float64]bool)
+	for _, v := range udb.AllVars() {
+		src := udb.MetaFor(v)["source"]
+		if probsBySource[src] == nil {
+			probsBySource[src] = make(map[float64]bool)
+		}
+		probsBySource[src][gt.Prob[v]] = true
+	}
+	for src, ps := range probsBySource {
+		if len(ps) != 1 {
+			t.Fatalf("source %s maps to %d distinct probabilities, want 1", src, len(ps))
+		}
+	}
+}
+
+func TestGenerateWithProbs(t *testing.T) {
+	udb := New(paperDB())
+	v0, _ := udb.VarFor("Acquisitions", 0)
+	gt := GenerateWithProbs(udb, map[boolexpr.Var]float64{v0: 1.0}, 5)
+	if got, _ := gt.Val.Get(v0); !got {
+		t.Error("p=1 variable must be True")
+	}
+	if gt.Prob[v0] != 1.0 {
+		t.Error("probability not recorded")
+	}
+	// Unlisted variables default to 0.5.
+	v1, _ := udb.VarFor("Acquisitions", 1)
+	if gt.Prob[v1] != 0.5 {
+		t.Errorf("default probability = %f", gt.Prob[v1])
+	}
+	// Ground truth is total.
+	for _, v := range udb.AllVars() {
+		if !gt.Val.Assigned(v) {
+			t.Fatal("ground truth must assign every variable")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package uncertain
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"qres/internal/boolexpr"
+)
+
+// GroundTruth is a total valuation val* of the tuple variables together
+// with the hidden per-variable probabilities it was drawn from. The
+// probabilities are never given to the resolution algorithms (the paper's
+// π is unknown and must be learned); experiments use them only for
+// analysis and for the "known probabilities" comparison of Section 7.2.
+type GroundTruth struct {
+	Val  *boolexpr.Valuation
+	Prob map[boolexpr.Var]float64
+}
+
+// GenerateFixed draws every variable independently True with probability p
+// (the paper's fixed-probability setting, default 0.5). The draw is
+// deterministic in seed.
+func GenerateFixed(db *DB, p float64, seed int64) *GroundTruth {
+	rng := rand.New(rand.NewSource(seed))
+	gt := &GroundTruth{
+		Val:  boolexpr.NewValuation(),
+		Prob: make(map[boolexpr.Var]float64, db.NumVars()),
+	}
+	for _, v := range db.AllVars() {
+		gt.Prob[v] = p
+		gt.Val.Set(v, rng.Float64() < p)
+	}
+	return gt
+}
+
+// DecisionTree is a hidden random decision tree over metadata attributes,
+// the paper's default synthetic ground truth for TPC-H (Section 7.1):
+// "inner [nodes] are random decisions based on metadata, and the leaves are
+// randomly drawn probabilities. For each tuple, we apply the decision tree
+// on its metadata to obtain a probability and then randomly draw a
+// correctness value according to this probability."
+//
+// Inner nodes branch on a hash bit of one metadata attribute's value, so
+// tuples sharing attribute values share leaf probabilities — precisely the
+// metadata→correctness correlation the Learner can pick up.
+type DecisionTree struct {
+	attr        string
+	salt        uint64
+	left, right *DecisionTree
+	prob        float64
+	leaf        bool
+}
+
+// NewDecisionTree builds a random tree of the given depth over the
+// attribute names, deterministically in seed. Depth 0 yields a single
+// random-probability leaf. Leaf probabilities are uniform in [0.05, 0.95],
+// avoiding degenerate all-True/all-False leaves.
+func NewDecisionTree(attrs []string, depth int, seed int64) *DecisionTree {
+	rng := rand.New(rand.NewSource(seed))
+	sorted := append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	return buildRDT(sorted, depth, rng)
+}
+
+func buildRDT(attrs []string, depth int, rng *rand.Rand) *DecisionTree {
+	if depth <= 0 || len(attrs) == 0 {
+		return &DecisionTree{leaf: true, prob: 0.05 + 0.9*rng.Float64()}
+	}
+	return &DecisionTree{
+		attr:  attrs[rng.Intn(len(attrs))],
+		salt:  rng.Uint64(),
+		left:  buildRDT(attrs, depth-1, rng),
+		right: buildRDT(attrs, depth-1, rng),
+	}
+}
+
+// Probability returns the correctness probability the tree assigns to a
+// tuple with the given metadata. Missing attributes route like the empty
+// string.
+func (t *DecisionTree) Probability(meta map[string]string) float64 {
+	node := t
+	for !node.leaf {
+		h := fnv.New64a()
+		h.Write([]byte(node.attr))
+		h.Write([]byte{0})
+		h.Write([]byte(meta[node.attr]))
+		if (h.Sum64()^node.salt)&1 == 0 {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.prob
+}
+
+// GenerateRDT draws the ground truth from a hidden random decision tree of
+// the given depth over the union of metadata attribute names observed in
+// db. The tree structure and the correctness draws are both deterministic
+// in seed.
+func GenerateRDT(db *DB, depth int, seed int64) *GroundTruth {
+	// Collect the attribute universe.
+	attrSet := make(map[string]struct{})
+	for _, v := range db.AllVars() {
+		for a := range db.MetaFor(v) {
+			attrSet[a] = struct{}{}
+		}
+	}
+	attrs := make([]string, 0, len(attrSet))
+	for a := range attrSet {
+		attrs = append(attrs, a)
+	}
+	tree := NewDecisionTree(attrs, depth, seed)
+
+	rng := rand.New(rand.NewSource(seed + 1))
+	gt := &GroundTruth{
+		Val:  boolexpr.NewValuation(),
+		Prob: make(map[boolexpr.Var]float64, db.NumVars()),
+	}
+	for _, v := range db.AllVars() {
+		p := tree.Probability(db.MetaFor(v))
+		gt.Prob[v] = p
+		gt.Val.Set(v, rng.Float64() < p)
+	}
+	return gt
+}
+
+// GenerateWithProbs draws each variable independently according to the
+// given per-variable probabilities (variables not listed default to p=0.5).
+func GenerateWithProbs(db *DB, probs map[boolexpr.Var]float64, seed int64) *GroundTruth {
+	rng := rand.New(rand.NewSource(seed))
+	gt := &GroundTruth{
+		Val:  boolexpr.NewValuation(),
+		Prob: make(map[boolexpr.Var]float64, db.NumVars()),
+	}
+	for _, v := range db.AllVars() {
+		p, ok := probs[v]
+		if !ok {
+			p = 0.5
+		}
+		gt.Prob[v] = p
+		gt.Val.Set(v, rng.Float64() < p)
+	}
+	return gt
+}

@@ -1,0 +1,123 @@
+package qres
+
+import (
+	"errors"
+
+	"qres/internal/resolve"
+)
+
+// RowStatus is the live resolution status of a result row during an
+// interactive session.
+type RowStatus uint8
+
+// Row statuses.
+const (
+	// Unknown: the row's correctness is not yet decided.
+	Unknown RowStatus = iota
+	// Correct: the row is certainly a ground-truth answer.
+	Correct
+	// Incorrect: the row is certainly not a ground-truth answer.
+	Incorrect
+)
+
+// String renders the status.
+func (s RowStatus) String() string {
+	switch s {
+	case Correct:
+		return "correct"
+	case Incorrect:
+		return "incorrect"
+	default:
+		return "unknown"
+	}
+}
+
+// Session is a step-wise resolution: the caller controls the probing loop
+// and can inspect which rows are already decided after every verification
+// — the paper's interactive mode, where partial results stream to the user
+// while the oracle works.
+type Session struct {
+	db      *DB
+	res     *Result
+	inner   *resolve.Session
+	adapter *oracleAdapter
+}
+
+// NewSession prepares a step-wise resolution over the query result.
+func (db *DB) NewSession(res *Result, orc Oracle, opts ...Option) (*Session, error) {
+	o, err := db.buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	repo, err := db.repository(o)
+	if err != nil {
+		return nil, err
+	}
+	adapter := &oracleAdapter{db: db, inner: orc}
+	inner, err := resolve.NewSession(db.udb, res.res, adapter, repo, o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{db: db, res: res, inner: inner, adapter: adapter}, nil
+}
+
+// Step issues one verification. It returns the verified tuple and whether
+// the session finished with this step. Calling Step on a finished session
+// returns done=true without probing.
+func (s *Session) Step() (probed TupleRef, done bool, err error) {
+	v, done, err := s.inner.Step()
+	if err != nil {
+		return TupleRef{}, done, err
+	}
+	if n := len(s.adapter.log); n > 0 {
+		probed = s.adapter.log[n-1]
+	}
+	_ = v
+	return probed, done, nil
+}
+
+// Done reports whether every row's correctness is decided.
+func (s *Session) Done() bool { return s.inner.Done() }
+
+// Status returns the current per-row resolution statuses, one per result
+// row, without issuing any probes.
+func (s *Session) Status() []RowStatus {
+	snap := s.inner.Snapshot()
+	out := make([]RowStatus, len(snap))
+	for i, st := range snap {
+		switch st {
+		case resolve.RowCorrect:
+			out[i] = Correct
+		case resolve.RowIncorrect:
+			out[i] = Incorrect
+		default:
+			out[i] = Unknown
+		}
+	}
+	return out
+}
+
+// Probes returns the number of verifications issued so far.
+func (s *Session) Probes() int { return s.inner.Stats().Probes }
+
+// Resolution finalizes the session. It is an error to call it before the
+// session is done; drive Step (or Finish) to completion first.
+func (s *Session) Resolution() (*Resolution, error) {
+	if !s.inner.Done() {
+		return nil, errors.New("qres: session not finished; call Step or Finish until done")
+	}
+	out, err := s.inner.Run() // no-op loop; collects the outcome
+	if err != nil {
+		return nil, err
+	}
+	return s.db.resolution(out.Answers, out.Probes, s.adapter.log, 0, 0), nil
+}
+
+// Finish drives the session to completion and returns the resolution.
+func (s *Session) Finish() (*Resolution, error) {
+	out, err := s.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return s.db.resolution(out.Answers, out.Probes, s.adapter.log, 0, 0), nil
+}

@@ -1,0 +1,130 @@
+package qres_test
+
+import (
+	"testing"
+
+	"qres"
+)
+
+func TestStepwiseSession(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := randomOracle(db, 0.5, 17)
+	sess, err := db.NewSession(res, orc,
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any probe: everything unknown (the query rows all depend on
+	// unresolved tuples), no resolution available.
+	for i, st := range sess.Status() {
+		if st != qres.Unknown {
+			t.Fatalf("row %d decided before probing: %v", i, st)
+		}
+	}
+	if _, err := sess.Resolution(); err == nil {
+		t.Fatal("Resolution before done must fail")
+	}
+
+	// Step to completion; statuses must move monotonically from Unknown
+	// to decided (a decided row never becomes undecided again).
+	decided := make([]bool, res.Len())
+	steps := 0
+	for !sess.Done() {
+		ref, done, err := sess.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if !done && ref == (qres.TupleRef{}) {
+			t.Fatal("step without probed tuple")
+		}
+		for i, st := range sess.Status() {
+			if decided[i] && st == qres.Unknown {
+				t.Fatalf("row %d became undecided again", i)
+			}
+			if st != qres.Unknown {
+				decided[i] = true
+			}
+		}
+		if steps > res.UniqueTupleCount() {
+			t.Fatal("session did not terminate within the probe budget")
+		}
+	}
+	if sess.Probes() != steps {
+		t.Fatalf("Probes = %d, steps = %d", sess.Probes(), steps)
+	}
+
+	out, err := sess.Resolution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Statuses and resolution agree.
+	for i, st := range sess.Status() {
+		want := qres.Incorrect
+		if out.IsCorrect(i) {
+			want = qres.Correct
+		}
+		if st != want {
+			t.Errorf("row %d: status %v, resolution %v", i, st, want)
+		}
+	}
+	// Matches a one-shot Resolve on a fresh copy.
+	db2 := buildPaperDB(t)
+	res2, _ := db2.Query(paperSQL)
+	ref, err := db2.Resolve(res2, randomOracle(db2, 0.5, 17),
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < res.Len(); i++ {
+		if out.IsCorrect(i) != ref.IsCorrect(i) {
+			t.Errorf("row %d: stepwise disagrees with one-shot", i)
+		}
+	}
+}
+
+func TestSessionFinish(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := db.NewSession(res, randomOracle(db, 0.5, 19),
+		qres.WithStrategy("greedy"), qres.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A couple of manual steps, then Finish drives the rest.
+	if _, _, err := sess.Step(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Done() {
+		t.Fatal("Finish left the session unfinished")
+	}
+	if out.Probes != sess.Probes() {
+		t.Fatal("probe counts disagree")
+	}
+	if len(out.ProbedTuples) != out.Probes {
+		t.Fatal("probe log incomplete")
+	}
+	if statuses := sess.Status(); len(statuses) != res.Len() {
+		t.Fatal("status length wrong")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if qres.Unknown.String() != "unknown" ||
+		qres.Correct.String() != "correct" ||
+		qres.Incorrect.String() != "incorrect" {
+		t.Fatal("status strings wrong")
+	}
+}
