@@ -8,8 +8,10 @@
 //	qres-bench -list                  # show available experiment ids
 //	qres-bench -exp fig6 -full        # slower, closer-to-paper scale
 //	qres-bench -exp table3 -csv out/  # also write CSV files
+//	qres-bench -trace out.jsonl       # traced run + per-component timings
 //
-// Every run is deterministic in -seed.
+// Every run is deterministic in -seed (trace spans carry wall-clock
+// timestamps and real durations, so trace files differ run to run).
 package main
 
 import (
@@ -29,6 +31,7 @@ func main() {
 		seed   = flag.Int64("seed", 2023, "master random seed")
 		csvDir = flag.String("csv", "", "directory to also write <id>.csv files into")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+		trace  = flag.String("trace", "", "run one fully traced resolution, writing JSONL spans to this file, and report per-component timings")
 	)
 	flag.Parse()
 
@@ -42,6 +45,29 @@ func main() {
 	scale := bench.ScaleQuick()
 	if *full {
 		scale = bench.ScaleFull()
+	}
+
+	if *trace != "" {
+		if *exp != "all" {
+			fmt.Fprintf(os.Stderr, "qres-bench: -trace runs its own workload; ignoring -exp %s\n", *exp)
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qres-bench: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep, err := bench.TraceRun(scale, *seed, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qres-bench: trace failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.WriteTable(os.Stdout)
+		fmt.Printf("(trace written to %s in %.1fs)\n", *trace, time.Since(start).Seconds())
+		return
 	}
 
 	var todo []bench.Experiment

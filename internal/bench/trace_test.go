@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// A traced bench run must emit at least one span for every pipeline
+// stage, and the per-round component rows of the Table-4-style report
+// must each count exactly one observation per probe.
+func TestTraceRunCoversAllStages(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := TraceRun(ScaleQuick(), 7, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stages := map[string]int{}
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var rec struct {
+			Stage string `json:"stage"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("invalid trace line: %v\n%s", err, line)
+		}
+		stages[rec.Stage]++
+	}
+	for _, want := range []string{
+		"query_eval", "provenance", "repo_reuse", "split", "lal_train",
+		"retrain", "forest_fit", "learner", "lal", "utility", "selector",
+		"probe", "simplify",
+	} {
+		if stages[want] == 0 {
+			t.Errorf("trace has no %q spans", want)
+		}
+	}
+
+	probes := stages["probe"]
+	if probes == 0 {
+		t.Fatal("traced run issued no probes")
+	}
+	for _, label := range []string{"Learner", "LAL", "Utility", "Selector", "Oracle probe", "Simplify"} {
+		n, ok := rep.Value(label, "Count")
+		if !ok {
+			t.Fatalf("report lacks row %q", label)
+		}
+		if int(n) != probes {
+			t.Errorf("report row %s: count %v, want %d (one per probe)", label, n, probes)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"qres/internal/boolexpr"
 	"qres/internal/datagen"
 	"qres/internal/engine"
+	"qres/internal/obs"
 	"qres/internal/oracle"
 	"qres/internal/resolve"
 	"qres/internal/sqlparse"
@@ -84,17 +85,23 @@ func FixedGroundTruth(p float64) GroundTruthKind { return GroundTruthKind{Fixed:
 
 // LoadTPCH prepares a TPC-H workload for the named stripped query.
 func LoadTPCH(query string, sc Scale, gt GroundTruthKind, seed int64) (*Workload, error) {
+	return LoadTPCHObserved(query, sc, gt, seed, nil)
+}
+
+// LoadTPCHObserved is LoadTPCH with instrumentation: query evaluation and
+// provenance construction emit spans through o (nil disables tracing).
+func LoadTPCHObserved(query string, sc Scale, gt GroundTruthKind, seed int64, o *obs.Obs) (*Workload, error) {
 	udb := datagen.TPCH(datagen.TPCHConfig{SF: sc.TPCHSF, Seed: stats.SubSeed(seed, 1)})
-	return prepare("TPC-H/"+query, udb, datagen.TPCHQueries()[query], gt, seed)
+	return prepare("TPC-H/"+query, udb, datagen.TPCHQueries()[query], gt, seed, o)
 }
 
 // LoadNELL prepares a NELL workload for the named hand-written query.
 func LoadNELL(query string, sc Scale, gt GroundTruthKind, seed int64) (*Workload, error) {
 	udb := datagen.NELL(datagen.NELLConfig{Athletes: sc.NELLAthletes, Seed: stats.SubSeed(seed, 2)})
-	return prepare("NELL/"+query, udb, datagen.NELLQueries()[query], gt, seed)
+	return prepare("NELL/"+query, udb, datagen.NELLQueries()[query], gt, seed, nil)
 }
 
-func prepare(name string, udb *uncertain.DB, sql string, gt GroundTruthKind, seed int64) (*Workload, error) {
+func prepare(name string, udb *uncertain.DB, sql string, gt GroundTruthKind, seed int64, o *obs.Obs) (*Workload, error) {
 	if sql == "" {
 		return nil, fmt.Errorf("bench: unknown query for workload %s", name)
 	}
@@ -102,7 +109,7 @@ func prepare(name string, udb *uncertain.DB, sql string, gt GroundTruthKind, see
 	if err != nil {
 		return nil, fmt.Errorf("bench: compile %s: %w", name, err)
 	}
-	res, err := engine.Run(udb, plan)
+	res, err := engine.RunObserved(udb, plan, o)
 	if err != nil {
 		return nil, fmt.Errorf("bench: run %s: %w", name, err)
 	}

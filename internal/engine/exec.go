@@ -3,8 +3,10 @@ package engine
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"qres/internal/boolexpr"
+	"qres/internal/obs"
 	"qres/internal/table"
 	"qres/internal/uncertain"
 )
@@ -95,11 +97,32 @@ func (s worldSource) Prov(string, int) boolexpr.Expr { return boolexpr.True() }
 // (Step 2 of the framework). Each output row's expression is True under a
 // valuation iff the row belongs to the query answer on that possible world.
 func Run(db *uncertain.DB, plan Node) (*Result, error) {
+	return RunObserved(db, plan, nil)
+}
+
+// RunObserved is Run with instrumentation: when o is enabled it emits a
+// query_eval span covering plan execution (annotated with the plan shape
+// and output cardinality) and a provenance span summarizing the constructed
+// annotations (expression count, unique variables, maximum term size).
+func RunObserved(db *uncertain.DB, plan Node, o *obs.Obs) (*Result, error) {
+	start := time.Now()
 	schema, rows, err := plan.exec(uncertainSource{db})
+	evalDur := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: schema, Rows: rows}, nil
+	res := &Result{Columns: schema, Rows: rows}
+	if o.Enabled() {
+		o.Emit(obs.StageQueryEval, -1, start, evalDur,
+			obs.Str("plan", Shape(plan)), obs.Int("rows", len(rows)))
+		pstart := time.Now()
+		vars := res.UniqueVars()
+		maxTerm := res.MaxTermSize()
+		o.Emit(obs.StageProvenance, -1, pstart, time.Since(pstart),
+			obs.Int("exprs", len(rows)), obs.Int("vars", len(vars)),
+			obs.Int("max_term", maxTerm))
+	}
+	return res, nil
 }
 
 // RunWorld evaluates plan over a plain database under standard set

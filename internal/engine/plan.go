@@ -36,6 +36,39 @@ type Row struct {
 	Prov  boolexpr.Expr
 }
 
+// Shape renders the plan's operator tree as a compact one-line signature
+// without predicates or column lists, e.g. "Project(Join(Scan,Scan))".
+// Query-evaluation trace spans attach it so traces identify the plan
+// without reproducing its full String rendering.
+func Shape(n Node) string {
+	switch t := n.(type) {
+	case *scanNode:
+		return "Scan"
+	case *selectNode:
+		return "Select(" + Shape(t.input) + ")"
+	case *joinNode:
+		return "Join(" + Shape(t.left) + "," + Shape(t.right) + ")"
+	case *projectNode:
+		op := "Project"
+		if t.distinct {
+			op = "Distinct"
+		}
+		return op + "(" + Shape(t.input) + ")"
+	case *unionNode:
+		parts := make([]string, len(t.inputs))
+		for i, in := range t.inputs {
+			parts[i] = Shape(in)
+		}
+		return "Union(" + strings.Join(parts, ",") + ")"
+	case *sortNode:
+		return "Sort(" + Shape(t.input) + ")"
+	case *limitNode:
+		return "Limit(" + Shape(t.input) + ")"
+	default:
+		return "?"
+	}
+}
+
 // Scan reads a base relation under an alias. Output columns are qualified
 // by the alias (or by the relation name if alias is empty).
 func Scan(relation, alias string) Node { return &scanNode{relation, alias} }

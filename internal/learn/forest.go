@@ -3,6 +3,9 @@ package learn
 import (
 	"math"
 	"math/rand"
+	"time"
+
+	"qres/internal/obs"
 )
 
 // ForestConfig controls random-forest training.
@@ -15,6 +18,8 @@ type ForestConfig struct {
 	MinLeaf int
 	// Seed makes training deterministic.
 	Seed int64
+	// Obs, when non-nil, receives a forest_fit span per training run.
+	Obs *obs.Obs
 }
 
 // DefaultForestConfig mirrors the paper's setup: 100 trees, unbounded
@@ -40,6 +45,7 @@ func FitForest(d *Dataset, cfg ForestConfig) *Forest {
 	if cfg.Trees <= 0 {
 		cfg.Trees = 100
 	}
+	start := time.Now()
 	f := &Forest{nf: d.NumFeatures(), cfg: cfg}
 	if d.Len() == 0 {
 		return f
@@ -59,6 +65,9 @@ func FitForest(d *Dataset, cfg ForestConfig) *Forest {
 		}, rng)
 		f.trees = append(f.trees, tree)
 	}
+	cfg.Obs.Emit(obs.StageForestFit, -1, start, time.Since(start),
+		obs.Int("trees", cfg.Trees), obs.Int("examples", d.Len()),
+		obs.Int("features", d.NumFeatures()))
 	return f
 }
 

@@ -4,6 +4,9 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
+
+	"qres/internal/obs"
 )
 
 // LAL implements Learning Active Learning (Konyushkova et al. [59], the
@@ -32,6 +35,9 @@ type LALConfig struct {
 	CandidatesPerState int
 	// Seed makes training deterministic.
 	Seed int64
+	// Obs, when non-nil, receives a lal_train span for the offline
+	// simulation-and-fit pass.
+	Obs *obs.Obs
 }
 
 // DefaultLALConfig returns a configuration that trains in well under a
@@ -77,6 +83,7 @@ func TrainLAL(cfg LALConfig) *LAL {
 	if cfg.CandidatesPerState <= 0 {
 		cfg.CandidatesPerState = 6
 	}
+	start := time.Now()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sample := &RegDataset{}
 
@@ -111,9 +118,12 @@ func TrainLAL(cfg LALConfig) *LAL {
 			}
 		}
 	}
-	return &LAL{reg: FitRegForest(sample, RegForestConfig{
+	l := &LAL{reg: FitRegForest(sample, RegForestConfig{
 		Trees: 40, MaxDepth: 8, MinLeaf: 4, Seed: cfg.Seed + 1,
 	})}
+	cfg.Obs.Emit(obs.StageLALTrain, -1, start, time.Since(start),
+		obs.Int("tasks", cfg.Tasks), obs.Int("states", sample.Len()))
+	return l
 }
 
 // syntheticTask generates one random categorical binary-classification

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONL is a Sink writing one JSON object per event, newline-delimited.
+// It serializes writes with a mutex, so a single JSONL may receive events
+// from concurrent sessions (e.g. parallel resolution).
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL wraps w as a JSONL trace sink.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// jsonEvent is the wire form of an Event. Attrs collapse to an object, so
+// lines stay greppable: {"stage":"probe","round":3,"us":41,"attrs":{...}}.
+type jsonEvent struct {
+	Time    string         `json:"t"`
+	Stage   string         `json:"stage"`
+	Session string         `json:"session,omitempty"`
+	Round   int            `json:"round"`
+	Micros  int64          `json:"us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(ev Event) {
+	var attrs map[string]any
+	if len(ev.Attrs) > 0 {
+		attrs = make(map[string]any, len(ev.Attrs))
+		for _, a := range ev.Attrs {
+			attrs[a.Key] = a.Value
+		}
+	}
+	rec := jsonEvent{
+		Time:    ev.Time.UTC().Format(time.RFC3339Nano),
+		Stage:   string(ev.Stage),
+		Session: ev.Session,
+		Round:   ev.Round,
+		Micros:  ev.Dur.Microseconds(),
+		Attrs:   attrs,
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Encode errors (closed file, full disk) are swallowed: tracing must
+	// never fail the resolution it observes.
+	_ = j.enc.Encode(rec)
+}
+
+// Collector is an in-memory Sink for tests and programmatic consumers.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything collected so far.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// StageCount returns how many collected events belong to stage.
+func (c *Collector) StageCount(stage Stage) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.events {
+		if ev.Stage == stage {
+			n++
+		}
+	}
+	return n
+}

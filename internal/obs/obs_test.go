@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilObsIsSafe(t *testing.T) {
+	var o *Obs
+	if o.Enabled() {
+		t.Error("nil Obs reports enabled")
+	}
+	if o.Registry() != nil || o.Session() != "" {
+		t.Error("nil Obs leaks registry/session")
+	}
+	if o.WithSession("x") != nil {
+		t.Error("WithSession on nil Obs should stay nil")
+	}
+	// None of these may panic.
+	o.Emit(StageProbe, 0, time.Now(), time.Millisecond)
+	o.Gauge("g", 1)
+	o.Count("c", 1)
+	if New("s", nil, nil) != nil {
+		t.Error("New with no sink and no registry should collapse to nil")
+	}
+}
+
+func TestEmitFeedsSinkAndRegistry(t *testing.T) {
+	col := &Collector{}
+	reg := NewRegistry()
+	o := New("base", col, reg)
+	sess := o.WithSession("General+LAL")
+	start := time.Unix(100, 0)
+	sess.Emit(StageLearner, 3, start, 2*time.Millisecond, Int("candidates", 7))
+	sess.Emit(StageLearner, 4, start, 4*time.Millisecond)
+
+	if got := col.StageCount(StageLearner); got != 2 {
+		t.Fatalf("collector saw %d learner events, want 2", got)
+	}
+	ev := col.Events()[0]
+	if ev.Session != "General+LAL" || ev.Round != 3 || ev.Dur != 2*time.Millisecond {
+		t.Errorf("event = %+v", ev)
+	}
+	if len(ev.Attrs) != 1 || ev.Attrs[0].Key != "candidates" {
+		t.Errorf("attrs = %+v", ev.Attrs)
+	}
+
+	h := reg.Histogram("stage_seconds", string(StageLearner), "General+LAL").Snapshot()
+	if h.Count != 2 {
+		t.Errorf("histogram count = %d, want 2", h.Count)
+	}
+	if c := reg.Counter("events_total", string(StageLearner), "General+LAL").Value(); c != 2 {
+		t.Errorf("events_total = %d, want 2", c)
+	}
+}
+
+func TestJSONLOutput(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	o := New("sess", j, nil)
+	o.Emit(StageProbe, 5, time.Unix(1700000000, 0), 1500*time.Microsecond,
+		Int("var", 9), Bool("answer", true))
+	o.Emit(StageSimplify, 5, time.Unix(1700000001, 0), 10*time.Microsecond)
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line is not JSON: %v: %s", err, sc.Text())
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	first := lines[0]
+	if first["stage"] != "probe" || first["session"] != "sess" || first["round"] != float64(5) {
+		t.Errorf("first line = %v", first)
+	}
+	if first["us"] != float64(1500) {
+		t.Errorf("us = %v, want 1500", first["us"])
+	}
+	attrs, ok := first["attrs"].(map[string]any)
+	if !ok || attrs["var"] != float64(9) || attrs["answer"] != true {
+		t.Errorf("attrs = %v", first["attrs"])
+	}
+	if _, hasAttrs := lines[1]["attrs"]; hasAttrs {
+		t.Errorf("attr-less event should omit attrs: %v", lines[1])
+	}
+}
+
+func TestJSONLConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Emit(Event{Stage: StageProbe, Round: i, Time: time.Unix(0, 0)})
+			}
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("interleaved write corrupted a line: %v", err)
+		}
+		n++
+	}
+	if n != 8*200 {
+		t.Errorf("got %d lines, want %d", n, 8*200)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	o := New("s", MultiSink{a, b}, nil)
+	o.Emit(StageUtility, 1, time.Unix(0, 0), time.Millisecond)
+	if a.StageCount(StageUtility) != 1 || b.StageCount(StageUtility) != 1 {
+		t.Error("MultiSink did not fan out to every sink")
+	}
+}

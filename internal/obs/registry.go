@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"qres/internal/stats"
+)
+
+// Registry is a concurrency-safe metrics registry: named counters, gauges
+// and bounded histograms, each optionally labeled (typically by stage and
+// session/config name). Metric handles are created on first use and cached,
+// so hot paths pay one read-locked map lookup per observation.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Key renders the canonical registry key of a labeled metric:
+// name{label1,label2}. Metrics without labels use the bare name.
+func Key(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(labels, ",") + "}"
+}
+
+// Counter returns (creating if needed) the labeled counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	key := Key(name, labels...)
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[key]; !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the labeled gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	key := Key(name, labels...)
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[key]; !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the labeled histogram.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	key := Key(name, labels...)
+	r.mu.RLock()
+	h, ok := r.hists[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[key]; !ok {
+		h = newHistogram()
+		r.hists[key] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histogramBound caps the per-histogram sample reservoir: exact order
+// statistics up to the bound, uniform reservoir sampling beyond it, with
+// count/sum/min/max always exact.
+const histogramBound = 4096
+
+// Histogram accumulates float observations with bounded memory and reports
+// order statistics (p50/p90/max). Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+	rng     uint64 // xorshift state for reservoir replacement
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{min: math.Inf(1), max: math.Inf(-1), rng: 0x9e3779b97f4a7c15}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < histogramBound {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Algorithm R reservoir replacement keeps the retained samples a
+	// uniform subsample of everything observed.
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if i := h.rng % uint64(h.count); i < uint64(len(h.samples)) {
+		h.samples[i] = v
+	}
+}
+
+// HistSnapshot is a point-in-time summary of a histogram.
+type HistSnapshot struct {
+	Count int64
+	Sum   float64
+	Mean  float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P90   float64
+}
+
+// Snapshot summarizes the histogram. Percentiles come from the (possibly
+// subsampled) reservoir; count, sum, min and max are exact.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return HistSnapshot{}
+	}
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	return HistSnapshot{
+		Count: h.count,
+		Sum:   h.sum,
+		Mean:  h.sum / float64(h.count),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   stats.Percentile(sorted, 0.5),
+		P90:   stats.Percentile(sorted, 0.9),
+	}
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistSnapshot
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"qres/internal/stats"
+)
+
+func TestKey(t *testing.T) {
+	if got := Key("events_total"); got != "events_total" {
+		t.Errorf("bare key = %q", got)
+	}
+	if got := Key("stage_seconds", "probe", "General+LAL"); got != "stage_seconds{probe,General+LAL}" {
+		t.Errorf("labeled key = %q", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Exercise the create-on-first-use path concurrently too.
+				r.Counter("hits", "stage").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits", "stage").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("undecided")
+	g.Set(42.5)
+	if got := g.Value(); got != 42.5 {
+		t.Errorf("gauge = %v, want 42.5", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 42.5+800 {
+		t.Errorf("gauge after concurrent adds = %v, want %v", got, 42.5+800)
+	}
+}
+
+func TestHistogramPercentilesMatchStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	xs := make([]float64, 0, 500)
+	for i := 0; i < 500; i++ {
+		v := float64((i * 7919) % 500) // deterministic shuffle of 0..499
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	sort.Float64s(xs)
+	snap := h.Snapshot()
+	if snap.Count != 500 {
+		t.Fatalf("count = %d, want 500", snap.Count)
+	}
+	if want := stats.Percentile(xs, 0.5); snap.P50 != want {
+		t.Errorf("p50 = %v, want %v", snap.P50, want)
+	}
+	if want := stats.Percentile(xs, 0.9); snap.P90 != want {
+		t.Errorf("p90 = %v, want %v", snap.P90, want)
+	}
+	if snap.Min != xs[0] || snap.Max != xs[len(xs)-1] {
+		t.Errorf("min/max = %v/%v, want %v/%v", snap.Min, snap.Max, xs[0], xs[len(xs)-1])
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if math.Abs(snap.Sum-sum) > 1e-9 || math.Abs(snap.Mean-sum/500) > 1e-9 {
+		t.Errorf("sum/mean = %v/%v, want %v/%v", snap.Sum, snap.Mean, sum, sum/500)
+	}
+}
+
+func TestHistogramBounded(t *testing.T) {
+	h := newHistogram()
+	n := histogramBound * 3
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	if len(h.samples) > histogramBound {
+		t.Fatalf("reservoir grew to %d, bound is %d", len(h.samples), histogramBound)
+	}
+	snap := h.Snapshot()
+	if snap.Count != int64(n) {
+		t.Errorf("count = %d, want %d", snap.Count, n)
+	}
+	if snap.Min != 0 || snap.Max != float64(n-1) {
+		t.Errorf("min/max = %v/%v, want exact 0/%d", snap.Min, snap.Max, n-1)
+	}
+	// The reservoir is a uniform subsample, so the median should land
+	// near n/2 (a loose sanity band, not a distributional test).
+	if snap.P50 < float64(n)/4 || snap.P50 > 3*float64(n)/4 {
+		t.Errorf("subsampled p50 = %v, expected near %v", snap.P50, float64(n)/2)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Histogram("stage_seconds", "probe").Observe(float64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Histogram("stage_seconds", "probe").Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", snap.Count, goroutines*perG)
+	}
+	if snap.Min != 0 || snap.Max != goroutines*perG-1 {
+		t.Errorf("min/max = %v/%v", snap.Min, snap.Max)
+	}
+}
+
+func TestSnapshotEmptyAndPopulated(t *testing.T) {
+	r := NewRegistry()
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("empty registry snapshot not empty: %+v", s)
+	}
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(1.5)
+	r.Histogram("c").Observe(2)
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 || s.Gauges["b"] != 1.5 || s.Histograms["c"].Count != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if empty := (&Histogram{}).Snapshot(); empty.Count != 0 || empty.Max != 0 {
+		t.Errorf("zero histogram snapshot = %+v", empty)
+	}
+}

@@ -1,8 +1,11 @@
 package resolve
 
 import (
+	"time"
+
 	"qres/internal/boolexpr"
 	"qres/internal/learn"
+	"qres/internal/obs"
 	"qres/internal/uncertain"
 )
 
@@ -77,6 +80,7 @@ type Learner struct {
 	forest     *learn.Forest // non-nil iff model == ModelRF and trained
 	retrains   int
 	knownProbs map[boolexpr.Var]float64
+	obs        *obs.Obs
 }
 
 // LearnerConfig bundles Learner construction parameters.
@@ -100,6 +104,8 @@ type LearnerConfig struct {
 	// paper's Section 3 analysis and the experiments that isolate utility
 	// computation from learning (Sections 7.2–7.3).
 	KnownProbs map[boolexpr.Var]float64
+	// Obs, when non-nil, receives a span event per (re)training pass.
+	Obs *obs.Obs
 }
 
 // NewLearner builds a Learner over the repository. In Offline and Online
@@ -122,6 +128,7 @@ func NewLearner(db *uncertain.DB, repo *Repository, cfg LearnerConfig) *Learner 
 		minTrain:   cfg.MinTrain,
 		seed:       cfg.Seed,
 		knownProbs: cfg.KnownProbs,
+		obs:        cfg.Obs,
 	}
 	if l.mode != LearnEP && l.knownProbs == nil {
 		l.retrain()
@@ -145,6 +152,7 @@ func (l *Learner) retrain() {
 	if l.repo.Len() < l.minTrain {
 		return
 	}
+	start := time.Now()
 	l.enc = learn.NewEncoder(l.repo.Metas())
 	data := l.repo.Dataset(l.enc)
 	switch l.model {
@@ -152,11 +160,17 @@ func (l *Learner) retrain() {
 		l.clf = learn.FitNaiveBayes(data)
 		l.forest = nil
 	default:
-		f := learn.FitForest(data, learn.ForestConfig{Trees: l.trees, Seed: l.seed + int64(l.retrains)})
+		f := learn.FitForest(data, learn.ForestConfig{
+			Trees: l.trees, Seed: l.seed + int64(l.retrains), Obs: l.obs,
+		})
 		l.clf = f
 		l.forest = f
 	}
 	l.retrains++
+	l.obs.Emit(obs.StageRetrain, -1, start, time.Since(start),
+		obs.Int("examples", l.repo.Len()),
+		obs.Str("model", l.model.String()),
+		obs.Int("retrains", l.retrains))
 }
 
 // Prob estimates π̃(x): the probability the oracle would answer True for

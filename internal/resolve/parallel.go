@@ -74,7 +74,12 @@ func ResolveParallel(db *uncertain.DB, result *engine.Result, orc Oracle, repo *
 	}
 	wg.Wait()
 
+	// Aggregate component outcomes; Stats.Merge folds every sub-session's
+	// counters and per-component timing samples into one distribution (the
+	// timers are mutex-protected, so merging after the barrier is safe even
+	// though sub-sessions populated them concurrently).
 	total := &ParallelOutcome{Components: len(groups)}
+	agg := &Stats{}
 	for _, cr := range results {
 		if cr.err != nil {
 			return nil, cr.err
@@ -82,12 +87,13 @@ func ResolveParallel(db *uncertain.DB, result *engine.Result, orc Oracle, repo *
 		for i, a := range cr.outcome.Answers {
 			answers[cr.rows[i]].Correct = a.Correct
 		}
-		total.Probes += cr.outcome.Probes
+		agg.Merge(cr.outcome.Stats)
 		if cr.outcome.Probes > total.CriticalPathProbes {
 			total.CriticalPathProbes = cr.outcome.Probes
 		}
 	}
+	total.Probes = agg.Probes
 	total.Answers = answers
-	total.Stats = &Stats{Probes: total.Probes}
+	total.Stats = agg
 	return total, nil
 }

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
+	"time"
 
 	"qres/internal/boolexpr"
 	"qres/internal/engine"
 	"qres/internal/learn"
+	"qres/internal/obs"
 	"qres/internal/stats"
 	"qres/internal/uncertain"
 )
@@ -74,6 +77,13 @@ type Config struct {
 	// Seed drives every random choice in the session.
 	Seed int64
 
+	// Obs is the observability handle: when non-nil, the session emits a
+	// structured span event (and a registry timing observation) for every
+	// pipeline stage — repository reuse, splitting, per-component probe
+	// selection, oracle probes, simplification, learner retraining. A nil
+	// handle disables instrumentation at near-zero cost.
+	Obs *obs.Obs
+
 	// DisableSplitting turns off expression splitting entirely; sessions
 	// whose utility needs CNF then fail on oversized expressions.
 	DisableSplitting bool
@@ -136,11 +146,40 @@ type Stats struct {
 	// an oracle call (Step 3).
 	KnownReused int
 	// Learner, LAL, Utility and Selector time each framework component
-	// per probe selection.
+	// per probe selection. Baselines populate the timers they exercise
+	// (Random and Greedy only the Selector; LAL-only also the LAL timer).
 	Learner  stats.Timer
 	LAL      stats.Timer
 	Utility  stats.Timer
 	Selector stats.Timer
+}
+
+// Merge accumulates other's counters and timing samples into st, used to
+// aggregate per-component statistics from parallel sub-sessions.
+func (st *Stats) Merge(other *Stats) {
+	st.Probes += other.Probes
+	st.Cost += other.Cost
+	st.KnownReused += other.KnownReused
+	st.Learner.Merge(&other.Learner)
+	st.LAL.Merge(&other.LAL)
+	st.Utility.Merge(&other.Utility)
+	st.Selector.Merge(&other.Selector)
+}
+
+// Summary renders the session counters and per-component timing
+// distributions as a Table-4-style multi-line report (times in seconds).
+func (st *Stats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "probes=%d cost=%.1f known_reused=%d\n", st.Probes, st.Cost, st.KnownReused)
+	row := func(name string, t *stats.Timer) {
+		s := t.Summary()
+		fmt.Fprintf(&b, "%-9s n=%-5d %s\n", name, s.Count, s)
+	}
+	row("learner", &st.Learner)
+	row("lal", &st.LAL)
+	row("utility", &st.Utility)
+	row("selector", &st.Selector)
+	return b.String()
 }
 
 // RowAnswer is the resolved status of one output row.
@@ -188,6 +227,7 @@ type Session struct {
 	rng   *rand.Rand
 	round int
 	stats Stats
+	obs   *obs.Obs
 	err   error
 }
 
@@ -213,6 +253,7 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 		cfg:    cfg,
 		val:    boolexpr.NewValuation(),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		obs:    cfg.Obs.WithSession(cfg.Name()),
 	}
 
 	s.learner = NewLearner(db, repo, LearnerConfig{
@@ -223,6 +264,7 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 		LAL:        cfg.LAL,
 		Seed:       cfg.Seed,
 		KnownProbs: cfg.KnownProbs,
+		Obs:        s.obs,
 	})
 
 	switch cfg.Baseline {
@@ -243,6 +285,7 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 	}
 
 	// Step 3: plug in truth values already known from previous probes.
+	reuseStart := time.Now()
 	exprs := result.Provenance()
 	known := boolexpr.NewValuation()
 	for _, e := range exprs {
@@ -254,7 +297,12 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 			}
 		}
 	}
+	s.obs.Emit(obs.StageRepoReuse, -1, reuseStart, time.Since(reuseStart),
+		obs.Int("reused", s.stats.KnownReused),
+		obs.Int("exprs", len(exprs)),
+		obs.Int("repo_size", repo.Len()))
 
+	splitStart := time.Now()
 	needCNF := s.strategy.NeedsCNF()
 	parts, partOf := prepareExpressions(
 		exprs, known,
@@ -267,6 +315,11 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 		return nil, err
 	}
 	s.work = work
+	s.obs.Emit(obs.StageSplit, -1, splitStart, time.Since(splitStart),
+		obs.Int("parts", len(parts)),
+		obs.Int("undecided", work.undecided),
+		obs.Bool("cnf", needCNF))
+	s.obs.Gauge("undecided_exprs", float64(work.undecided))
 	return s, nil
 }
 
@@ -314,22 +367,42 @@ func (s *Session) Step() (probed boolexpr.Var, done bool, err error) {
 		return 0, true, s.err
 	}
 
+	probeStart := time.Now()
 	answer, err := s.oracle.Probe(v)
+	probeDur := time.Since(probeStart)
 	if err != nil {
 		s.err = fmt.Errorf("resolve: oracle probe failed: %w", err)
 		return 0, true, s.err
 	}
+	s.obs.Emit(obs.StageProbe, s.round, probeStart, probeDur,
+		obs.Int("var", int(v)), obs.Bool("answer", answer))
 	s.stats.Probes++
 	s.stats.Cost += s.cost(v)
 	s.val.Set(v, answer)
 	s.learner.Observe(v, answer) // Step 5 + online retraining
 
-	if _, err := s.work.applyProbe(v, answer); err != nil {
+	simplifyStart := time.Now()
+	decided, err := s.work.applyProbe(v, answer)
+	if err != nil {
 		s.err = err
 		return 0, true, err
 	}
+	s.obs.Emit(obs.StageSimplify, s.round, simplifyStart, time.Since(simplifyStart),
+		obs.Int("decided", len(decided)), obs.Int("undecided", s.work.undecided))
+	s.obs.Gauge("undecided_exprs", float64(s.work.undecided))
 	s.round++
 	return v, s.work.done(), nil
+}
+
+// component times one framework component of the current probe-selection
+// round, recording the duration both in the per-session Stats timer and as
+// an observability span.
+func (s *Session) component(stage obs.Stage, t *stats.Timer, fn func(), attrs ...obs.Attr) {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	t.Observe(d)
+	s.obs.Emit(stage, s.round, start, d, attrs...)
 }
 
 // Run drives the session to completion and returns the outcome: the exact

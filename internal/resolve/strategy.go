@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"qres/internal/boolexpr"
+	"qres/internal/obs"
 )
 
 // Strategy selects the next variable to probe among the candidates of the
@@ -25,8 +26,12 @@ type randomStrategy struct{ rng *rand.Rand }
 
 func (randomStrategy) Name() string   { return "Random" }
 func (randomStrategy) NeedsCNF() bool { return false }
-func (r randomStrategy) next(_ *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
-	return candidates[r.rng.Intn(len(candidates))], nil
+func (r randomStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
+	var v boolexpr.Var
+	s.component(obs.StageSelector, &s.stats.Selector, func() {
+		v = candidates[r.rng.Intn(len(candidates))]
+	}, obs.Int("candidates", len(candidates)))
+	return v, nil
 }
 
 // greedyStrategy probes the variable with the most occurrences in the
@@ -37,23 +42,27 @@ type greedyStrategy struct{}
 func (greedyStrategy) Name() string   { return "Greedy" }
 func (greedyStrategy) NeedsCNF() bool { return false }
 func (greedyStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
-	counts := make(map[boolexpr.Var]int)
-	for _, e := range s.work.exprs {
-		if e.Decided() {
-			continue
-		}
-		for _, t := range e.Terms() {
-			for _, v := range t {
-				counts[v]++
+	var best boolexpr.Var
+	s.component(obs.StageSelector, &s.stats.Selector, func() {
+		counts := make(map[boolexpr.Var]int)
+		for _, e := range s.work.exprs {
+			if e.Decided() {
+				continue
+			}
+			for _, t := range e.Terms() {
+				for _, v := range t {
+					counts[v]++
+				}
 			}
 		}
-	}
-	best, bestCount := candidates[0], -1
-	for _, v := range candidates {
-		if c := counts[v]; c > bestCount {
-			best, bestCount = v, c
+		bestCount := -1
+		best = candidates[0]
+		for _, v := range candidates {
+			if c := counts[v]; c > bestCount {
+				best, bestCount = v, c
+			}
 		}
-	}
+	}, obs.Int("candidates", len(candidates)))
 	return best, nil
 }
 
@@ -65,14 +74,22 @@ type lalOnlyStrategy struct{}
 func (lalOnlyStrategy) Name() string   { return "LAL only" }
 func (lalOnlyStrategy) NeedsCNF() bool { return false }
 func (lalOnlyStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
-	best, bestScore := candidates[0], -1.0
-	for _, v := range candidates {
-		var score float64
-		s.stats.LAL.Time(func() { score = s.learner.Uncertainty(v) })
-		if score > bestScore {
-			best, bestScore = v, score
+	scores := make([]float64, len(candidates))
+	s.component(obs.StageLAL, &s.stats.LAL, func() {
+		for i, v := range candidates {
+			scores[i] = s.learner.Uncertainty(v)
 		}
-	}
+	}, obs.Int("candidates", len(candidates)))
+	var best boolexpr.Var
+	s.component(obs.StageSelector, &s.stats.Selector, func() {
+		bestScore := -1.0
+		best = candidates[0]
+		for i, v := range candidates {
+			if scores[i] > bestScore {
+				best, bestScore = v, scores[i]
+			}
+		}
+	})
 	return best, nil
 }
 
@@ -93,24 +110,24 @@ func (u utilityStrategy) NeedsCNF() bool { return u.util.NeedsCNF() }
 func (u utilityStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
 	// Sub-step 4.1a: probability estimation, timed as "Learner".
 	probs := make(map[boolexpr.Var]float64, len(candidates))
-	s.stats.Learner.Time(func() {
+	s.component(obs.StageLearner, &s.stats.Learner, func() {
 		for _, v := range candidates {
 			probs[v] = s.learner.Prob(v)
 		}
-	})
+	}, obs.Int("candidates", len(candidates)))
 
 	// Sub-step 4.2: utility computation, timed under the utility's name.
 	var scores map[boolexpr.Var]float64
-	s.stats.Utility.Time(func() {
+	s.component(obs.StageUtility, &s.stats.Utility, func() {
 		scores = u.util.Scores(s.work,
 			func(v boolexpr.Var) float64 { return probs[v] },
 			candidates, s.round)
-	})
+	}, obs.Str("utility", u.util.Name()))
 
 	// Sub-step 4.1b: uncertainty reduction (LAL), timed separately.
 	uncertainty := make(map[boolexpr.Var]float64, len(candidates))
 	if s.learner.Mode() == LearnOnline {
-		s.stats.LAL.Time(func() {
+		s.component(obs.StageLAL, &s.stats.LAL, func() {
 			for _, v := range candidates {
 				uncertainty[v] = s.learner.Uncertainty(v)
 			}
@@ -122,7 +139,7 @@ func (u utilityStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.V
 	// mode candidates are ranked by score per unit cost (the Section 9
 	// extension).
 	var best boolexpr.Var
-	s.stats.Selector.Time(func() {
+	s.component(obs.StageSelector, &s.stats.Selector, func() {
 		bestScore := 0.0
 		first := true
 		for _, v := range candidates {

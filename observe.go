@@ -1,0 +1,178 @@
+package qres
+
+import (
+	"io"
+	"strings"
+	"time"
+
+	"qres/internal/obs"
+)
+
+// TraceEvent is one completed span of the resolution pipeline as exposed
+// to public observers: a pipeline stage (e.g. "learner", "probe",
+// "simplify"), when it started, how long it took, and stage-specific
+// annotations.
+type TraceEvent struct {
+	// Time is the span's start time.
+	Time time.Time
+	// Stage names the pipeline stage (see the Observability section of the
+	// README for the taxonomy).
+	Stage string
+	// Session labels the emitting configuration (e.g. "General+LAL").
+	Session string
+	// Round is the probe-selection round, or -1 for events outside the
+	// probing loop (setup, training).
+	Round int
+	// Duration is the span duration.
+	Duration time.Duration
+	// Attrs carries stage-specific annotations (candidate counts, oracle
+	// answers, plan shapes, ...).
+	Attrs map[string]any
+}
+
+// Observer receives every span event of a resolution run. Implementations
+// must be safe for concurrent use: ResolveParallel emits from multiple
+// goroutines.
+type Observer interface {
+	Observe(TraceEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(TraceEvent)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(ev TraceEvent) { f(ev) }
+
+// observerSink bridges the internal span stream to a public Observer.
+type observerSink struct{ o Observer }
+
+func (s observerSink) Emit(ev obs.Event) {
+	out := TraceEvent{
+		Time:     ev.Time,
+		Stage:    string(ev.Stage),
+		Session:  ev.Session,
+		Round:    ev.Round,
+		Duration: ev.Dur,
+	}
+	if len(ev.Attrs) > 0 {
+		out.Attrs = make(map[string]any, len(ev.Attrs))
+		for _, a := range ev.Attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	s.o.Observe(out)
+}
+
+// WithObserver streams every pipeline span event of the run to o. Multiple
+// observers (and WithTrace writers) may be combined; each receives every
+// event.
+func WithObserver(o Observer) Option {
+	return func(opts *options) {
+		if o != nil {
+			opts.sinks = append(opts.sinks, observerSink{o: o})
+		}
+	}
+}
+
+// WithTrace writes every pipeline span event to w as JSON Lines, one
+// object per span:
+//
+//	{"t":"2023-06-01T12:00:00.000000001Z","stage":"probe","session":"General+LAL","round":3,"us":152,"attrs":{"var":7,"answer":true}}
+//
+// Writes are serialized internally, so w need not be safe for concurrent
+// use, but the caller remains responsible for closing it after the run.
+func WithTrace(w io.Writer) Option {
+	return func(opts *options) {
+		if w != nil {
+			opts.sinks = append(opts.sinks, obs.NewJSONL(w))
+		}
+	}
+}
+
+// TimingSummary describes the duration distribution of one pipeline stage
+// over a run.
+type TimingSummary struct {
+	// Count is the number of spans observed.
+	Count int64
+	// Total is the summed duration across spans.
+	Total time.Duration
+	// Mean, Min, Max, P50 and P90 summarize the per-span durations. The
+	// percentiles are computed over a bounded reservoir and are exact for
+	// runs of up to a few thousand spans per stage.
+	Mean, Min, Max, P50, P90 time.Duration
+}
+
+// MetricsSnapshot is a point-in-time copy of a session's metrics.
+type MetricsSnapshot struct {
+	// Counters holds monotonic event counts keyed by metric name and
+	// labels, e.g. "events_total{probe,General+LAL}".
+	Counters map[string]int64
+	// Gauges holds last-set values, e.g. "undecided_exprs{General+LAL}".
+	Gauges map[string]float64
+	// Timings holds per-stage duration distributions keyed by stage name
+	// ("learner", "lal", "utility", "selector", "probe", ...).
+	Timings map[string]TimingSummary
+}
+
+// StageTiming returns the duration distribution of one pipeline stage
+// (zero TimingSummary when the stage never ran).
+func (m *MetricsSnapshot) StageTiming(stage string) TimingSummary {
+	return m.Timings[stage]
+}
+
+// snapshotMetrics converts an internal registry snapshot to the public
+// form. Histograms of the per-stage "stage_seconds" metric are re-keyed by
+// their stage label; any other histogram keeps its full key.
+func snapshotMetrics(reg *obs.Registry) *MetricsSnapshot {
+	out := &MetricsSnapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+		Timings:  make(map[string]TimingSummary),
+	}
+	if reg == nil {
+		return out
+	}
+	snap := reg.Snapshot()
+	for k, v := range snap.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range snap.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, h := range snap.Histograms {
+		name := k
+		if rest, ok := strings.CutPrefix(k, "stage_seconds{"); ok {
+			if stage, _, found := strings.Cut(rest, ","); found {
+				name = stage
+			} else {
+				name = strings.TrimSuffix(rest, "}")
+			}
+		}
+		sum := TimingSummary{
+			Count: h.Count,
+			Total: secondsToDuration(h.Sum),
+			Mean:  secondsToDuration(h.Mean),
+			P50:   secondsToDuration(h.P50),
+			P90:   secondsToDuration(h.P90),
+		}
+		if h.Count > 0 {
+			sum.Min = secondsToDuration(h.Min)
+			sum.Max = secondsToDuration(h.Max)
+		}
+		// Parallel sub-sessions share a configuration name and therefore a
+		// stage key; their histograms are already merged in the registry.
+		out.Timings[name] = sum
+	}
+	return out
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Metrics returns a point-in-time snapshot of the session's pipeline
+// metrics: per-stage timing distributions (the paper's Table 4 components:
+// learner, lal, utility, selector, plus probe latency and setup stages)
+// and the raw counters and gauges behind them. Safe to call at any point
+// of the session, including before the first Step.
+func (s *Session) Metrics() *MetricsSnapshot { return snapshotMetrics(s.reg) }

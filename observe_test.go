@@ -1,0 +1,220 @@
+package qres_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"qres"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// normalizeTrace strips the non-deterministic fields (wall-clock time and
+// span duration) from every JSONL trace line, keeping stage, session,
+// round and attrs — the deterministic skeleton of the trace.
+func normalizeTrace(t *testing.T, raw []byte) string {
+	t.Helper()
+	var out strings.Builder
+	for _, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("trace line is not valid JSON: %v\n%s", err, line)
+		}
+		delete(rec, "t")
+		delete(rec, "us")
+		norm, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(norm)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// A deterministic session (fixed seed, EP probabilities, single
+// goroutine) must produce a byte-identical trace skeleton run over run —
+// the golden file pins both the event sequence and the wire format.
+func TestWithTraceGoldenFile(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, err = db.Resolve(res, randomOracle(db, 0.5, 17),
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(1),
+		qres.WithTrace(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeTrace(t, buf.Bytes())
+
+	golden := filepath.Join("testdata", "trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestWithTraceGoldenFile -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace skeleton diverged from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// memObserver is a concurrency-safe Observer collecting events.
+type memObserver struct {
+	mu     sync.Mutex
+	events []qres.TraceEvent
+}
+
+func (m *memObserver) Observe(ev qres.TraceEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, ev)
+}
+
+func (m *memObserver) count(stage string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ev := range m.events {
+		if ev.Stage == stage {
+			n++
+		}
+	}
+	return n
+}
+
+// WithObserver must deliver one probe span per oracle verification, plus
+// the setup and per-round component spans, with populated fields.
+func TestWithObserver(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &memObserver{}
+	r, err := db.Resolve(res, randomOracle(db, 0.5, 4),
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(9),
+		qres.WithObserver(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Probes == 0 {
+		t.Fatal("resolution issued no probes")
+	}
+	for _, stage := range []string{"repo_reuse", "split", "learner", "utility", "selector", "probe", "simplify"} {
+		if mem.count(stage) == 0 {
+			t.Errorf("observer saw no %q spans", stage)
+		}
+	}
+	if got := mem.count("probe"); got != r.Probes {
+		t.Errorf("observer saw %d probe spans, want %d", got, r.Probes)
+	}
+	mem.mu.Lock()
+	defer mem.mu.Unlock()
+	for _, ev := range mem.events {
+		if ev.Stage == "" || ev.Time.IsZero() {
+			t.Fatalf("event missing stage or time: %+v", ev)
+		}
+		if ev.Stage == "probe" {
+			if _, ok := ev.Attrs["answer"]; !ok {
+				t.Errorf("probe span lacks answer attr: %+v", ev)
+			}
+		}
+	}
+}
+
+// Session.Metrics must expose per-stage timing distributions whose counts
+// match the probe count, without any observer attached.
+func TestSessionMetrics(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := db.NewSession(res, randomOracle(db, 0.5, 17),
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Safe before any probing: present but empty.
+	if m := sess.Metrics(); m.StageTiming("probe").Count != 0 {
+		t.Fatal("probe timing non-zero before the first Step")
+	}
+	r, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sess.Metrics()
+	for _, stage := range []string{"learner", "utility", "selector", "probe", "simplify"} {
+		ts := m.StageTiming(stage)
+		if ts.Count != int64(r.Probes) {
+			t.Errorf("stage %s: count %d, want %d", stage, ts.Count, r.Probes)
+		}
+		if ts.Count > 0 && (ts.Total <= 0 || ts.Max < ts.Min || ts.Mean <= 0) {
+			t.Errorf("stage %s: implausible summary %+v", stage, ts)
+		}
+	}
+	if len(m.Counters) == 0 {
+		t.Error("metrics snapshot has no counters")
+	}
+	found := false
+	for k, v := range m.Counters {
+		if strings.HasPrefix(k, "events_total{probe,") {
+			found = true
+			if v != int64(r.Probes) {
+				t.Errorf("%s = %d, want %d", k, v, r.Probes)
+			}
+		}
+	}
+	if !found {
+		t.Error("no events_total{probe,...} counter in snapshot")
+	}
+}
+
+// Step on a finished session — or any step issuing no oracle call — must
+// return the zero TupleRef, never a stale reference to an earlier probe.
+func TestStepAfterDoneReturnsZeroRef(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := db.NewSession(res, randomOracle(db, 0.5, 17),
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !sess.Done() {
+		if _, _, err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sess.Probes() == 0 {
+		t.Fatal("session finished without probing; test needs a probing run")
+	}
+	ref, done, err := sess.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("finished session must report done")
+	}
+	if ref != (qres.TupleRef{}) {
+		t.Errorf("Step after done returned stale ref %v, want zero", ref)
+	}
+}

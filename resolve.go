@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"qres/internal/boolexpr"
+	"qres/internal/obs"
 	"qres/internal/resolve"
 )
 
@@ -28,6 +29,8 @@ type options struct {
 	known     []knownAnswer
 	training  []trainingExample
 	costs     []tupleCost
+	sinks     []obs.Sink
+	reg       *obs.Registry
 	strategy  string
 	strandErr error
 }
@@ -213,6 +216,19 @@ func (db *DB) buildOptions(opts []Option) (*options, error) {
 	default:
 		return nil, fmt.Errorf("qres: unknown strategy %q", o.strategy)
 	}
+	// Every run records per-stage timings into its own registry so
+	// Session.Metrics works without opting in; trace sinks only attach when
+	// WithObserver / WithTrace asked for them.
+	o.reg = obs.NewRegistry()
+	var sink obs.Sink
+	switch len(o.sinks) {
+	case 0:
+	case 1:
+		sink = o.sinks[0]
+	default:
+		sink = obs.MultiSink(o.sinks)
+	}
+	o.cfg.Obs = obs.New("", sink, o.reg)
 	return o, nil
 }
 

@@ -3,6 +3,7 @@ package qres
 import (
 	"errors"
 
+	"qres/internal/obs"
 	"qres/internal/resolve"
 )
 
@@ -41,6 +42,7 @@ type Session struct {
 	res     *Result
 	inner   *resolve.Session
 	adapter *oracleAdapter
+	reg     *obs.Registry
 }
 
 // NewSession prepares a step-wise resolution over the query result.
@@ -58,21 +60,24 @@ func (db *DB) NewSession(res *Result, orc Oracle, opts ...Option) (*Session, err
 	if err != nil {
 		return nil, err
 	}
-	return &Session{db: db, res: res, inner: inner, adapter: adapter}, nil
+	return &Session{db: db, res: res, inner: inner, adapter: adapter, reg: o.reg}, nil
 }
 
 // Step issues one verification. It returns the verified tuple and whether
-// the session finished with this step. Calling Step on a finished session
-// returns done=true without probing.
+// the session finished with this step. When no oracle call was issued —
+// the session was already finished, or every remaining row was decided
+// without probing — probed is the zero TupleRef.
 func (s *Session) Step() (probed TupleRef, done bool, err error) {
+	before := len(s.adapter.log)
 	v, done, err := s.inner.Step()
 	if err != nil {
 		return TupleRef{}, done, err
 	}
-	if n := len(s.adapter.log); n > 0 {
-		probed = s.adapter.log[n-1]
+	if len(s.adapter.log) > before {
+		if ref, ok := s.db.udb.RefFor(v); ok {
+			probed = TupleRef{Table: ref.Relation, Index: ref.Index}
+		}
 	}
-	_ = v
 	return probed, done, nil
 }
 
