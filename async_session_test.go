@@ -1,0 +1,186 @@
+package qres_test
+
+import (
+	"bytes"
+	"testing"
+
+	"qres"
+)
+
+// TestAsyncSessionMatchesSynchronous drives a session with no oracle
+// through NextProbe/SubmitAnswer and checks it reproduces the synchronous
+// Resolve outcome on the same seed.
+func TestAsyncSessionMatchesSynchronous(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := randomOracle(db, 0.5, 17)
+	opts := []qres.Option{qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(2)}
+
+	sess, err := db.NewSession(res, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := 0
+	for {
+		probe, done, err := sess.NextProbe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if probe.Ref == (qres.TupleRef{}) && probe.Values == nil {
+			t.Fatal("empty probe returned while not done")
+		}
+		again, _, err := sess.NextProbe()
+		if err != nil || again.Ref != probe.Ref {
+			t.Fatalf("NextProbe not idempotent: %v vs %v (%v)", again.Ref, probe.Ref, err)
+		}
+		answer, _ := orc.Probe(probe.Ref)
+		if _, err := sess.SubmitAnswer(probe.Ref, answer); err != nil {
+			t.Fatal(err)
+		}
+		probes++
+	}
+	out, err := sess.Resolution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Probes != probes {
+		t.Fatalf("Probes = %d, submitted %d", out.Probes, probes)
+	}
+	if len(out.ProbedTuples) != probes {
+		t.Fatalf("ProbedTuples = %d, want %d", len(out.ProbedTuples), probes)
+	}
+
+	db2 := buildPaperDB(t)
+	res2, _ := db2.Query(paperSQL)
+	ref, err := db2.Resolve(res2, randomOracle(db2, 0.5, 17), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Probes != out.Probes {
+		t.Errorf("async probes = %d, sync = %d", out.Probes, ref.Probes)
+	}
+	for i := 0; i < res.Len(); i++ {
+		if out.IsCorrect(i) != ref.IsCorrect(i) {
+			t.Errorf("row %d: async disagrees with sync", i)
+		}
+	}
+}
+
+func TestAsyncSessionErrors(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := db.NewSession(res, nil, qres.WithStrategy("general"), qres.WithLearning("ep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step requires an oracle.
+	if _, _, err := sess.Step(); err == nil {
+		t.Error("Step without oracle accepted")
+	}
+
+	sess2, err := db.NewSession(res, nil, qres.WithStrategy("general"), qres.WithLearning("ep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.SubmitAnswer(qres.TupleRef{Table: "roles", Index: 0}, true); err == nil {
+		t.Error("answer with no outstanding probe accepted")
+	}
+	probe, done, err := sess2.NextProbe()
+	if err != nil || done {
+		t.Fatalf("NextProbe: %v %v", done, err)
+	}
+	if _, err := sess2.SubmitAnswer(qres.TupleRef{Table: "nope", Index: 0}, true); err == nil {
+		t.Error("answer for unknown tuple accepted")
+	}
+	if _, err := sess2.SubmitAnswer(probe.Ref, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedRepositoryReuse resolves one query, then a second session
+// with the same shared repository: every overlapping verification is
+// reused, so the second run needs strictly fewer (here: zero) new probes.
+func TestSharedRepositoryReuse(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := db.ProbeRepository()
+	orc := randomOracle(db, 0.5, 29)
+	opts := []qres.Option{
+		qres.WithStrategy("general"), qres.WithLearning("ep"),
+		qres.WithSeed(4), qres.WithRepository(repo),
+	}
+	first, err := db.Resolve(res, orc, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Probes == 0 {
+		t.Fatal("first run probed nothing")
+	}
+	if repo.Len() != first.Probes {
+		t.Fatalf("repository has %d records, first run probed %d", repo.Len(), first.Probes)
+	}
+
+	// Same query again: everything needed is already known.
+	countBefore := orc.count
+	second, err := db.Resolve(res, orc, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orc.count != countBefore {
+		t.Errorf("second run issued %d oracle calls, want 0", orc.count-countBefore)
+	}
+	if second.Probes != 0 {
+		t.Errorf("second run Probes = %d, want 0", second.Probes)
+	}
+	for i := 0; i < res.Len(); i++ {
+		if first.IsCorrect(i) != second.IsCorrect(i) {
+			t.Errorf("row %d: reuse changed the resolution", i)
+		}
+	}
+
+	// The repository round-trips through Save/Load.
+	var buf bytes.Buffer
+	if err := repo.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := buildPaperDB(t)
+	if _, err := db2.Query(paperSQL); err != nil {
+		t.Fatal(err)
+	}
+	repo2, err := db2.LoadProbeRepository(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo2.Len() != repo.Len() {
+		t.Fatalf("loaded %d records, want %d", repo2.Len(), repo.Len())
+	}
+	res2, _ := db2.Query(paperSQL)
+	orc2 := randomOracle(db2, 0.5, 29)
+	countBefore = orc2.count
+	third, err := db2.Resolve(res2, orc2,
+		qres.WithStrategy("general"), qres.WithLearning("ep"),
+		qres.WithSeed(4), qres.WithRepository(repo2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orc2.count != countBefore {
+		t.Errorf("restored-repository run issued %d oracle calls, want 0", orc2.count-countBefore)
+	}
+	for i := 0; i < res.Len(); i++ {
+		if first.IsCorrect(i) != third.IsCorrect(i) {
+			t.Errorf("row %d: restored repository changed the resolution", i)
+		}
+	}
+}

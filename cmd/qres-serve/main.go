@@ -1,0 +1,101 @@
+// Command qres-serve hosts resolution sessions over HTTP: it loads an
+// uncertain database, opens (or creates) a durable probes store, and
+// serves the v1 session API until interrupted, at which point it drains
+// in-flight requests, snapshots the shared Known Probes Repository and
+// exits. See the README's "Serving mode" section for the endpoints and a
+// walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qres/internal/datagen"
+	"qres/internal/resolve"
+	"qres/internal/server"
+	"qres/internal/testdb"
+	"qres/internal/uncertain"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		data        = flag.String("data", "paper", "dataset to load: paper | tpch")
+		sf          = flag.Float64("sf", 0.002, "TPC-H scale factor (with -data tpch)")
+		seed        = flag.Int64("seed", 1, "generation seed (with -data tpch)")
+		storeDir    = flag.String("store", "", "probes store directory (empty: in-memory only)")
+		maxSessions = flag.Int("max-sessions", 64, "maximum concurrently live sessions")
+		ttl         = flag.Duration("ttl", 30*time.Minute, "idle session time-to-live")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *data, *sf, *seed, *storeDir, *maxSessions, *ttl); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, data string, sf float64, seed int64, storeDir string, maxSessions int, ttl time.Duration) error {
+	var udb *uncertain.DB
+	switch data {
+	case "paper":
+		udb = testdb.PaperUncertainDB()
+	case "tpch":
+		udb = datagen.TPCH(datagen.TPCHConfig{SF: sf, Seed: seed})
+	default:
+		return fmt.Errorf("unknown dataset %q (want paper or tpch)", data)
+	}
+
+	cfg := server.Config{DB: udb, MaxSessions: maxSessions, SessionTTL: ttl}
+	if storeDir != "" {
+		store, repo, err := resolve.OpenStore(storeDir, udb.Registry().Name, udb.Registry().Lookup)
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		log.Printf("store %s: recovered %d known probes (%d from WAL)",
+			storeDir, repo.Len(), store.WALRecords())
+		cfg.Store = store
+		cfg.Repo = repo
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %s (%d tuples) on http://%s", data, udb.NumVars(), ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %s, shutting down", s)
+	case err := <-errCh:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("shutdown complete: %d known probes persisted", srv.Repo().Len())
+	return nil
+}

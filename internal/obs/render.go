@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Text rendering of a registry snapshot in the Prometheus exposition
+// format, for the resolution service's /metrics endpoint. Counters render
+// as counters, gauges as gauges, and the bounded histograms as summaries:
+// _count and _sum series plus quantile-labeled series for p50/p90 and
+// min/max gauges (the registry keeps order statistics, not buckets).
+//
+// Registry keys carry labels positionally ("name{l1,l2}"); the renderer
+// restores label names from the schema the emitting code uses: the
+// per-stage metrics written by Obs.Emit are labeled (stage, session),
+// every other single-label metric is labeled by session, and remaining
+// positions fall back to generic names.
+
+// metricLabelNames maps a metric name to the names of its positional
+// labels. Metrics emitted through Obs helpers are registered here; other
+// packages (e.g. the server) may add their own schemas before rendering.
+var metricLabelNames = map[string][]string{
+	"stage_seconds": {"stage", "session"},
+	"events_total":  {"stage", "session"},
+}
+
+// RegisterMetricLabels declares the positional label names of a metric for
+// text rendering. Safe to call from init functions; not synchronized with
+// concurrent rendering.
+func RegisterMetricLabels(metric string, labels ...string) {
+	metricLabelNames[metric] = labels
+}
+
+// splitKey parses a canonical registry key (see Key) back into the metric
+// name and its positional label values.
+func splitKey(key string) (name string, labels []string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	return key[:open], strings.Split(key[open+1:len(key)-1], ",")
+}
+
+// labelPairs renders positional label values as a Prometheus label set,
+// with extra appended verbatim (already formatted, e.g. `quantile="0.5"`).
+func labelPairs(metric string, labels []string, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	names := metricLabelNames[metric]
+	parts := make([]string, 0, len(labels)+len(extra))
+	for i, v := range labels {
+		var n string
+		switch {
+		case i < len(names):
+			n = names[i]
+		case len(labels) == 1:
+			n = "session"
+		default:
+			n = fmt.Sprintf("label%d", i)
+		}
+		parts = append(parts, n+"="+escapeLabel(v))
+	}
+	parts = append(parts, extra...)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeLabel quotes a label value with Prometheus escaping.
+func escapeLabel(v string) string {
+	return `"` + strings.NewReplacer("\\", `\\`, "\n", `\n`, `"`, `\"`).Replace(v) + `"`
+}
+
+// WriteText renders the snapshot to w in the Prometheus text exposition
+// format, with every metric name prefixed "qres_". Metrics are emitted in
+// sorted order so the output is deterministic.
+func WriteText(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	type family struct {
+		kind  string
+		lines []string
+	}
+	families := make(map[string]*family)
+	add := func(metric, kind, line string) {
+		f, ok := families[metric]
+		if !ok {
+			f = &family{kind: kind}
+			families[metric] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+
+	for key, v := range s.Counters {
+		name, labels := splitKey(key)
+		add(name, "counter", fmt.Sprintf("qres_%s%s %d", name, labelPairs(name, labels), v))
+	}
+	for key, v := range s.Gauges {
+		name, labels := splitKey(key)
+		add(name, "gauge", fmt.Sprintf("qres_%s%s %g", name, labelPairs(name, labels), v))
+	}
+	for key, h := range s.Histograms {
+		name, labels := splitKey(key)
+		add(name, "summary",
+			fmt.Sprintf("qres_%s_count%s %d", name, labelPairs(name, labels), h.Count),
+			// one call per line below
+		)
+		add(name, "summary", fmt.Sprintf("qres_%s_sum%s %g", name, labelPairs(name, labels), h.Sum))
+		add(name, "summary", fmt.Sprintf("qres_%s%s %g", name, labelPairs(name, labels, `quantile="0.5"`), h.P50))
+		add(name, "summary", fmt.Sprintf("qres_%s%s %g", name, labelPairs(name, labels, `quantile="0.9"`), h.P90))
+		add(name, "summary", fmt.Sprintf("qres_%s_min%s %g", name, labelPairs(name, labels), h.Min))
+		add(name, "summary", fmt.Sprintf("qres_%s_max%s %g", name, labelPairs(name, labels), h.Max))
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := families[n]
+		fmt.Fprintf(&b, "# TYPE qres_%s %s\n", n, f.kind)
+		sort.Strings(f.lines)
+		for _, line := range f.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

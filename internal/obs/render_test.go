@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteTextRendersAllMetricKinds(t *testing.T) {
+	reg := NewRegistry()
+	o := New("General+LAL", nil, reg)
+	o.Emit(StageProbe, 0, time.Now(), 10*time.Millisecond)
+	o.Emit(StageProbe, 1, time.Now(), 30*time.Millisecond)
+	o.Gauge("undecided_exprs", 3)
+	reg.Counter("sessions_created_total").Inc()
+
+	var b strings.Builder
+	if err := WriteText(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE qres_events_total counter\n",
+		`qres_events_total{stage="probe",session="General+LAL"} 2`,
+		"# TYPE qres_stage_seconds summary\n",
+		`qres_stage_seconds_count{stage="probe",session="General+LAL"} 2`,
+		`qres_stage_seconds{stage="probe",session="General+LAL",quantile="0.5"}`,
+		`qres_stage_seconds{stage="probe",session="General+LAL",quantile="0.9"}`,
+		"# TYPE qres_undecided_exprs gauge\n",
+		`qres_undecided_exprs{session="General+LAL"} 3`,
+		"# TYPE qres_sessions_created_total counter\n",
+		"qres_sessions_created_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	for _, s := range []string{"b", "a", "c"} {
+		reg.Counter("events_total", "probe", s).Add(2)
+		reg.Gauge("undecided_exprs", s).Set(1)
+	}
+	var b1, b2 strings.Builder
+	if err := WriteText(&b1, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&b2, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("rendering is not deterministic")
+	}
+	// Label values sort within a family.
+	out := b1.String()
+	ia := strings.Index(out, `session="a"`)
+	ib := strings.Index(out, `session="b"`)
+	ic := strings.Index(out, `session="c"`)
+	if !(ia < ib && ib < ic) {
+		t.Errorf("series not sorted: a@%d b@%d c@%d\n%s", ia, ib, ic, out)
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	for _, tc := range []struct {
+		key    string
+		name   string
+		labels []string
+	}{
+		{"plain", "plain", nil},
+		{"m{a}", "m", []string{"a"}},
+		{"m{a,b}", "m", []string{"a", "b"}},
+	} {
+		name, labels := splitKey(tc.key)
+		if name != tc.name || len(labels) != len(tc.labels) {
+			t.Errorf("splitKey(%q) = %q,%v", tc.key, name, labels)
+		}
+	}
+}

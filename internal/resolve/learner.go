@@ -199,7 +199,7 @@ func (l *Learner) Uncertainty(v boolexpr.Var) float64 {
 		return 0
 	}
 	x := l.enc.Encode(l.db.MetaFor(v))
-	return l.lal.Score(l.forest, l.repo.Len(), positiveFraction(l.repo), x)
+	return l.lal.Score(l.forest, l.repo.Len(), l.repo.PositiveFraction(), x)
 }
 
 // Observe records a probe answer in the repository and, in online mode,
@@ -225,17 +225,4 @@ func (l *Learner) FeatureImportances() map[string]float64 {
 		out[l.enc.Attr(i)] = v
 	}
 	return out
-}
-
-func positiveFraction(r *Repository) float64 {
-	if r.Len() == 0 {
-		return 0.5
-	}
-	n := 0
-	for _, rec := range r.Records() {
-		if rec.Answer {
-			n++
-		}
-	}
-	return float64(n) / float64(r.Len())
 }

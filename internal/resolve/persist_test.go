@@ -2,6 +2,8 @@ package resolve
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -72,7 +74,140 @@ func TestLoadJSONUnresolvedNamesDegradeToTraining(t *testing.T) {
 }
 
 func TestLoadJSONErrors(t *testing.T) {
-	if _, err := LoadJSON(strings.NewReader("not json\n"), nil); err == nil {
-		t.Fatal("garbage accepted")
+	// Corruption followed by more well-formed data is damage, not a torn
+	// trailing write, and must fail the restore.
+	input := "not json\n" + `{"answer":true}` + "\n"
+	if _, err := LoadJSON(strings.NewReader(input), nil); err == nil {
+		t.Fatal("mid-file garbage accepted")
+	}
+}
+
+func TestLoadJSONSkipsTruncatedTrailingLine(t *testing.T) {
+	// A torn trailing line — the signature of a crash mid-append to the
+	// WAL — is skipped; every complete line before it is restored.
+	input := `{"meta":{"source":"x"},"answer":true}` + "\n" +
+		`{"meta":{"source":"y"},"answer":false}` + "\n" +
+		`{"meta":{"source":"z"},"ans` // truncated mid-write
+	repo, truncated, err := LoadJSONStats(strings.NewReader(input), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("truncated trailing line not reported")
+	}
+	if repo.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (torn line skipped)", repo.Len())
+	}
+	// A file that is nothing but one torn line restores to empty.
+	repo2, truncated2, err := LoadJSONStats(strings.NewReader("not json"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated2 || repo2.Len() != 0 {
+		t.Errorf("single torn line: truncated=%v len=%d, want true, 0", truncated2, repo2.Len())
+	}
+}
+
+func TestSaveJSONFileAtomic(t *testing.T) {
+	reg := boolexpr.NewRegistry()
+	a := reg.Intern("facts[0]")
+	repo := NewRepository()
+	repo.AddVar(a, map[string]string{"source": "x"}, true)
+
+	path := filepath.Join(t.TempDir(), "probes.snapshot.jsonl")
+	if err := repo.SaveJSONFile(path, reg.Name); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting an existing snapshot goes through the same temp+rename.
+	repo.Add(map[string]string{"source": "y"}, false)
+	if err := repo.SaveJSONFile(path, reg.Name); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := LoadJSON(f, func(name string) (boolexpr.Var, bool) { return reg.Lookup(name) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", back.Len())
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("leftover files in snapshot dir: %v", entries)
+	}
+}
+
+func TestStoreRecoversSnapshotPlusWAL(t *testing.T) {
+	reg := boolexpr.NewRegistry()
+	a := reg.Intern("facts[0]")
+	b := reg.Intern("facts[1]")
+	c := reg.Intern("facts[2]")
+	name := reg.Name
+	resolveFn := func(n string) (boolexpr.Var, bool) { return reg.Lookup(n) }
+
+	dir := t.TempDir()
+	store, repo, err := OpenStore(dir, name, resolveFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() != 0 {
+		t.Fatalf("fresh store not empty: %d", repo.Len())
+	}
+
+	// Two answers land in repo + WAL, then a graceful snapshot.
+	repo.AddVar(a, map[string]string{"source": "x"}, true)
+	if err := store.Append(ProbeRecord{Var: a, HasVar: true, Meta: map[string]string{"source": "x"}, Answer: true}); err != nil {
+		t.Fatal(err)
+	}
+	repo.AddVar(b, map[string]string{"source": "y"}, false)
+	if err := store.Append(ProbeRecord{Var: b, HasVar: true, Meta: map[string]string{"source": "y"}, Answer: false}); err != nil {
+		t.Fatal(err)
+	}
+	if store.WALRecords() != 2 {
+		t.Fatalf("WALRecords = %d, want 2", store.WALRecords())
+	}
+	if err := store.Snapshot(repo); err != nil {
+		t.Fatal(err)
+	}
+	if store.WALRecords() != 0 {
+		t.Fatalf("WAL not reset after snapshot: %d", store.WALRecords())
+	}
+
+	// One more answer after the snapshot, then a crash (no snapshot).
+	repo.AddVar(c, map[string]string{"source": "z"}, true)
+	if err := store.Append(ProbeRecord{Var: c, HasVar: true, Meta: map[string]string{"source": "z"}, Answer: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: snapshot (a, b) + WAL replay (c), nothing lost.
+	store2, repo2, err := OpenStore(dir, name, resolveFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if repo2.Len() != 3 {
+		t.Fatalf("recovered Len = %d, want 3", repo2.Len())
+	}
+	for _, tc := range []struct {
+		v    boolexpr.Var
+		want bool
+	}{{a, true}, {b, false}, {c, true}} {
+		if ans, ok := repo2.Answer(tc.v); !ok || ans != tc.want {
+			t.Errorf("answer for %s: got (%v,%v), want (%v,true)", reg.Name(tc.v), ans, ok, tc.want)
+		}
+	}
+	if store2.WALRecords() != 1 {
+		t.Errorf("recovered WALRecords = %d, want 1", store2.WALRecords())
 	}
 }

@@ -9,6 +9,8 @@
 package resolve
 
 import (
+	"sync"
+
 	"qres/internal/boolexpr"
 	"qres/internal/learn"
 )
@@ -29,9 +31,17 @@ type ProbeRecord struct {
 // is the Learner's training set, seeded before a session with probes of
 // tuples outside the query provenance (Section 7.1: 1280 by default) and
 // extended with every answer obtained during resolution.
+//
+// A Repository is safe for concurrent use: the resolution service shares
+// one repository across many live sessions (cross-session probe reuse),
+// so every accessor takes the repository lock. Accessors return copies of
+// internal state; the Meta maps inside returned records are shared with
+// the repository and must be treated as immutable by callers.
 type Repository struct {
-	records []ProbeRecord
-	byVar   map[boolexpr.Var]bool // answers of variable-bearing records
+	mu        sync.RWMutex
+	records   []ProbeRecord
+	byVar     map[boolexpr.Var]bool // answers of variable-bearing records
+	positives int                   // records with Answer == true
 }
 
 // NewRepository returns an empty repository.
@@ -42,32 +52,70 @@ func NewRepository() *Repository {
 // Add records an answer for a tuple identified only by metadata (initial,
 // off-provenance training probes).
 func (r *Repository) Add(meta map[string]string, answer bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.records = append(r.records, ProbeRecord{Meta: meta, Answer: answer})
+	if answer {
+		r.positives++
+	}
 }
 
 // AddVar records an answer for the tuple labeled by v.
 func (r *Repository) AddVar(v boolexpr.Var, meta map[string]string, answer bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.records = append(r.records, ProbeRecord{Var: v, HasVar: true, Meta: meta, Answer: answer})
 	r.byVar[v] = answer
+	if answer {
+		r.positives++
+	}
 }
 
 // Answer reports the recorded answer for v, if any. Sessions consult it in
 // Step 3 to plug in truth values known from previous probes (possibly of
-// other queries) before issuing any new ones.
+// other queries, or of concurrent sessions sharing the repository) before
+// issuing any new ones.
 func (r *Repository) Answer(v boolexpr.Var) (answer, known bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	answer, known = r.byVar[v]
 	return answer, known
 }
 
 // Len returns the number of records.
-func (r *Repository) Len() int { return len(r.records) }
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.records)
+}
 
-// Records returns all records; the slice must not be modified.
-func (r *Repository) Records() []ProbeRecord { return r.records }
+// PositiveFraction returns the fraction of records answered True (0.5 for
+// an empty repository) — the class prior the LAL regressor conditions on.
+// It is O(1): the count is maintained incrementally.
+func (r *Repository) PositiveFraction() float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.records) == 0 {
+		return 0.5
+	}
+	return float64(r.positives) / float64(len(r.records))
+}
+
+// Records returns a copy of all records, so callers can iterate without
+// holding the repository lock and cannot mutate the repository's own
+// slice. The Meta maps are shared and must not be modified.
+func (r *Repository) Records() []ProbeRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]ProbeRecord(nil), r.records...)
+}
 
 // Metas returns the metadata of all records, the input for fitting a
-// feature encoder.
+// feature encoder. The slice is freshly allocated; the maps are shared
+// and must not be modified.
 func (r *Repository) Metas() []map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]map[string]string, len(r.records))
 	for i, rec := range r.records {
 		out[i] = rec.Meta
@@ -77,6 +125,8 @@ func (r *Repository) Metas() []map[string]string {
 
 // Dataset encodes the repository into a training set under enc.
 func (r *Repository) Dataset(enc *learn.Encoder) *learn.Dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	d := &learn.Dataset{}
 	for _, rec := range r.records {
 		d.Add(enc.Encode(rec.Meta), rec.Answer)
@@ -87,9 +137,12 @@ func (r *Repository) Dataset(enc *learn.Encoder) *learn.Dataset {
 // Clone returns an independent copy, so experiments can reuse one seeded
 // repository across algorithm configurations without cross-contamination.
 func (r *Repository) Clone() *Repository {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := &Repository{
-		records: append([]ProbeRecord(nil), r.records...),
-		byVar:   make(map[boolexpr.Var]bool, len(r.byVar)),
+		records:   append([]ProbeRecord(nil), r.records...),
+		byVar:     make(map[boolexpr.Var]bool, len(r.byVar)),
+		positives: r.positives,
 	}
 	for k, v := range r.byVar {
 		out.byVar[k] = v

@@ -1,0 +1,143 @@
+package resolve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qres/internal/boolexpr"
+	"qres/internal/engine"
+	"qres/internal/learn"
+	"qres/internal/oracle"
+	"qres/internal/stats"
+	"qres/internal/testdb"
+	"qres/internal/uncertain"
+)
+
+// TestRepositoryConcurrentAccess hammers one shared repository from many
+// goroutines mixing every accessor — the access pattern of the resolution
+// service, where concurrent sessions Add/Answer while learners snapshot
+// Records/Metas/Dataset and the store saves. Run under -race.
+func TestRepositoryConcurrentAccess(t *testing.T) {
+	repo := NewRepository()
+	reg := boolexpr.NewRegistry()
+	vars := make([]boolexpr.Var, 64)
+	for i := range vars {
+		vars[i] = reg.Intern(fmt.Sprintf("t[%d]", i))
+	}
+
+	const writers, readers, rounds = 8, 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				meta := map[string]string{"source": fmt.Sprintf("s%d", i%7)}
+				if i%2 == 0 {
+					repo.AddVar(vars[(w*rounds+i)%len(vars)], meta, i%3 == 0)
+				} else {
+					repo.Add(meta, i%3 == 0)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch i % 5 {
+				case 0:
+					repo.Answer(vars[i%len(vars)])
+				case 1:
+					_ = repo.Len()
+				case 2:
+					_ = repo.Records()
+				case 3:
+					if metas := repo.Metas(); len(metas) > 0 {
+						enc := learn.NewEncoder(metas)
+						_ = repo.Dataset(enc)
+					}
+				case 4:
+					_ = repo.PositiveFraction()
+					_ = repo.Clone()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	want := writers * rounds
+	if repo.Len() != want {
+		t.Fatalf("Len = %d, want %d", repo.Len(), want)
+	}
+}
+
+// TestRecordsReturnsCopy verifies a handler mutating the returned slices
+// cannot corrupt repository state out from under the WAL.
+func TestRecordsReturnsCopy(t *testing.T) {
+	repo := NewRepository()
+	repo.Add(map[string]string{"source": "x"}, true)
+	recs := repo.Records()
+	recs[0].Answer = false
+	recs[0].HasVar = true
+	if got := repo.Records()[0]; got.Answer != true || got.HasVar {
+		t.Error("mutating Records() result changed repository state")
+	}
+	metas := repo.Metas()
+	metas[0] = map[string]string{"source": "hacked"}
+	if repo.Metas()[0]["source"] != "x" {
+		t.Error("mutating Metas() slice changed repository state")
+	}
+}
+
+// TestSharedRepositoryAcrossParallelSessions runs many full resolution
+// sessions concurrently against one shared repository (the server's
+// deployment shape: cross-session probe reuse with per-session learners
+// retraining from the shared training set). Run under -race.
+func TestSharedRepositoryAcrossParallelSessions(t *testing.T) {
+	udb := testdb.PaperUncertainDB()
+	res, err := engine.Run(udb, testdb.PaperQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := uncertain.GenerateRDT(udb, 3, 17)
+	shared := NewRepository()
+
+	const sessions = 6
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := Config{Utility: General{}, Learning: LearnOnline, Seed: stats.SubSeed(99, i)}
+			sess, err := NewSession(udb, res, oracle.NewGroundTruth(gt.Val), shared, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out, err := sess.Run()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for r := range out.Answers {
+				if out.Answers[r].Correct != res.Rows[r].Prov.Eval(gt.Val) {
+					errs[i] = fmt.Errorf("session %d: row %d wrong", i, r)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if repoLen := shared.Len(); repoLen == 0 {
+		t.Fatal("shared repository empty after parallel sessions")
+	}
+}

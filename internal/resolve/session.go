@@ -229,6 +229,24 @@ type Session struct {
 	stats Stats
 	obs   *obs.Obs
 	err   error
+
+	// pending is the outstanding probe request of the async API: selected
+	// by NextProbe, waiting for SubmitAnswer. Nil when no probe is parked.
+	pending   *ProbeRequest
+	pendingAt time.Time
+}
+
+// ProbeRequest describes one outstanding probe: the variable the Probe
+// Selector chose, the tuple metadata a remote oracle needs to verify it,
+// and the probe-selection round it belongs to. It is the currency of the
+// asynchronous session API (NextProbe / SubmitAnswer), which decouples
+// probe selection from answer delivery so that a remote oracle — a crowd
+// worker or expert taking seconds to minutes per answer — does not hold a
+// goroutine or lock while deliberating.
+type ProbeRequest struct {
+	Var   boolexpr.Var
+	Round int
+	Meta  map[string]string
 }
 
 // NewSession prepares a resolution session. The repository seeds the
@@ -236,7 +254,9 @@ type Session struct {
 // the provenance before any oracle call; the repository is extended in
 // place as the session probes, so passing a shared repository across
 // sessions models the paper's accumulation of probe answers over time
-// (clone it to isolate runs).
+// (clone it to isolate runs). orc may be nil for sessions driven through
+// the asynchronous NextProbe/SubmitAnswer API, where answers arrive from
+// a remote oracle; Step then fails, but Run after completion still works.
 func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repository, cfg Config) (*Session, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Baseline == BaselineNone && cfg.Utility == nil {
@@ -339,43 +359,74 @@ func (s *Session) Learner() *Learner { return s.learner }
 // valuation must not be modified.
 func (s *Session) Valuation() *boolexpr.Valuation { return s.val }
 
-// Step performs one iteration: select a probe, ask the oracle, record the
-// answer, and simplify. It reports whether the session is done after the
-// step. Calling Step on a finished session is a no-op returning done=true.
-func (s *Session) Step() (probed boolexpr.Var, done bool, err error) {
+// NextProbe runs probe selection (framework Sub-steps 4.1–4.3) and parks
+// the session on the chosen variable, returning the probe request a remote
+// oracle needs. It never calls the oracle. Calling NextProbe again before
+// SubmitAnswer returns the same outstanding request without re-running
+// selection, so the endpoint is idempotent and the RNG state is untouched
+// by retries. done=true (with a zero request) means every expression is
+// already decided.
+func (s *Session) NextProbe() (req ProbeRequest, done bool, err error) {
 	if s.err != nil {
-		return 0, true, s.err
+		return ProbeRequest{}, true, s.err
 	}
 	if s.work.done() {
-		return 0, true, nil
+		return ProbeRequest{}, true, nil
+	}
+	if s.pending != nil {
+		return *s.pending, false, nil
 	}
 	candidates := s.work.candidates()
 	if len(candidates) == 0 {
 		// Cannot happen for sound worksets: undecided expressions always
 		// contain variables.
 		s.err = errors.New("resolve: undecided expressions but no candidates")
-		return 0, true, s.err
+		return ProbeRequest{}, true, s.err
 	}
 
 	v, err := s.strategy.next(s, candidates)
 	if err != nil {
 		s.err = err
-		return 0, true, err
+		return ProbeRequest{}, true, err
 	}
 	if s.val.Assigned(v) {
 		s.err = fmt.Errorf("resolve: strategy re-probed variable %d", v)
-		return 0, true, s.err
+		return ProbeRequest{}, true, s.err
 	}
+	s.pending = &ProbeRequest{Var: v, Round: s.round, Meta: s.db.MetaFor(v)}
+	s.pendingAt = time.Now()
+	return *s.pending, false, nil
+}
 
-	probeStart := time.Now()
-	answer, err := s.oracle.Probe(v)
-	probeDur := time.Since(probeStart)
-	if err != nil {
-		s.err = fmt.Errorf("resolve: oracle probe failed: %w", err)
-		return 0, true, s.err
+// Pending returns the outstanding probe request, if any.
+func (s *Session) Pending() (ProbeRequest, bool) {
+	if s.pending == nil {
+		return ProbeRequest{}, false
 	}
-	s.obs.Emit(obs.StageProbe, s.round, probeStart, probeDur,
+	return *s.pending, true
+}
+
+// SubmitAnswer delivers the oracle's answer for the outstanding probe:
+// the answer is recorded in the repository (Step 5), the Learner retrains
+// in online mode, the working expressions are simplified, and the session
+// advances to the next round. v must match the variable returned by
+// NextProbe; answering with no probe outstanding or for a different
+// variable is an error that leaves the session state untouched.
+func (s *Session) SubmitAnswer(v boolexpr.Var, answer bool) (done bool, err error) {
+	if s.err != nil {
+		return true, s.err
+	}
+	if s.pending == nil {
+		return s.work.done(), errors.New("resolve: no outstanding probe; call NextProbe first")
+	}
+	if v != s.pending.Var {
+		return false, fmt.Errorf("resolve: answer for variable %d but probe %d is outstanding", v, s.pending.Var)
+	}
+	// The probe span's duration is the oracle's answer latency: the time
+	// between selection and answer delivery.
+	s.obs.Emit(obs.StageProbe, s.round, s.pendingAt, time.Since(s.pendingAt),
 		obs.Int("var", int(v)), obs.Bool("answer", answer))
+	s.pending = nil
 	s.stats.Probes++
 	s.stats.Cost += s.cost(v)
 	s.val.Set(v, answer)
@@ -385,13 +436,36 @@ func (s *Session) Step() (probed boolexpr.Var, done bool, err error) {
 	decided, err := s.work.applyProbe(v, answer)
 	if err != nil {
 		s.err = err
-		return 0, true, err
+		return true, err
 	}
 	s.obs.Emit(obs.StageSimplify, s.round, simplifyStart, time.Since(simplifyStart),
 		obs.Int("decided", len(decided)), obs.Int("undecided", s.work.undecided))
 	s.obs.Gauge("undecided_exprs", float64(s.work.undecided))
 	s.round++
-	return v, s.work.done(), nil
+	return s.work.done(), nil
+}
+
+// Step performs one synchronous iteration: select a probe, ask the oracle
+// inline, record the answer, and simplify. It reports whether the session
+// is done after the step. Calling Step on a finished session is a no-op
+// returning done=true. Step is NextProbe + oracle call + SubmitAnswer;
+// sessions constructed without an oracle must use the async pair instead.
+func (s *Session) Step() (probed boolexpr.Var, done bool, err error) {
+	req, done, err := s.NextProbe()
+	if done || err != nil {
+		return 0, done, err
+	}
+	if s.oracle == nil {
+		s.err = errors.New("resolve: session has no oracle; use NextProbe/SubmitAnswer")
+		return 0, true, s.err
+	}
+	answer, err := s.oracle.Probe(req.Var)
+	if err != nil {
+		s.err = fmt.Errorf("resolve: oracle probe failed: %w", err)
+		return 0, true, s.err
+	}
+	done, err = s.SubmitAnswer(req.Var, answer)
+	return req.Var, done, err
 }
 
 // component times one framework component of the current probe-selection

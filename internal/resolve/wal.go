@@ -1,0 +1,198 @@
+package resolve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"qres/internal/boolexpr"
+)
+
+// Durable probes store: the resolution service persists the shared Known
+// Probes Repository as a snapshot file plus a write-ahead log. Every
+// answered probe is appended (and fsynced) to the WAL before the answer
+// is acknowledged; on a clean shutdown the full repository is snapshotted
+// atomically (SaveJSONFile) and the WAL is reset. Recovery loads the
+// snapshot and replays the WAL, skipping at most one torn trailing line,
+// so a crash loses no acknowledged answer.
+
+// Snapshot and WAL file names inside a store directory.
+const (
+	snapshotFile = "probes.snapshot.jsonl"
+	walFile      = "probes.wal.jsonl"
+)
+
+// WAL is an append-only JSONL probe log. Append encodes the records,
+// writes them with a single write call per batch and fsyncs before
+// returning, making every acknowledged append durable. Safe for
+// concurrent use.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	name func(boolexpr.Var) string
+}
+
+// OpenWAL opens (creating if needed) the log at path for appending; name
+// maps variables to stable names, as in SaveJSON.
+func OpenWAL(path string, name func(boolexpr.Var) string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, name: name}, nil
+}
+
+// Append encodes the records as JSONL, appends them in one write, and
+// fsyncs the file. Batches are serialized, so each is a whole number of
+// lines: readers never see lines interleaved from two batches.
+func (w *WAL) Append(recs ...ProbeRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, rec := range recs {
+		line, err := json.Marshal(encodeProbe(rec, w.name))
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Store combines an atomic snapshot with a write-ahead log under one
+// directory, persisting a shared repository across service restarts.
+// Safe for concurrent Appends; Snapshot excludes concurrent appends for
+// the duration of the snapshot.
+type Store struct {
+	dir    string
+	nameFn func(boolexpr.Var) string
+
+	mu      sync.Mutex
+	wal     *WAL
+	walRecs int // records appended to the WAL since the last snapshot
+}
+
+// OpenStore opens (creating if needed) the probes store in dir and
+// recovers the repository it holds: the snapshot, then the WAL replayed on
+// top. nameFn maps variables to stable names for writing; resolveFn maps
+// names back for reading (both typically from the uncertain database's
+// registry). The returned repository is live: pass records to
+// Store.Append as they are answered, and Snapshot on shutdown.
+func OpenStore(dir string, nameFn func(boolexpr.Var) string, resolveFn func(string) (boolexpr.Var, bool)) (*Store, *Repository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	repo, err := loadStoreFile(filepath.Join(dir, snapshotFile), resolveFn)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resolve: store snapshot: %w", err)
+	}
+	walRepo, err := loadStoreFile(filepath.Join(dir, walFile), resolveFn)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resolve: store wal: %w", err)
+	}
+	walRecs := 0
+	if walRepo != nil {
+		for _, rec := range walRepo.Records() {
+			if repo == nil {
+				repo = NewRepository()
+			}
+			if rec.HasVar {
+				repo.AddVar(rec.Var, rec.Meta, rec.Answer)
+			} else {
+				repo.Add(rec.Meta, rec.Answer)
+			}
+			walRecs++
+		}
+	}
+	if repo == nil {
+		repo = NewRepository()
+	}
+	wal, err := OpenWAL(filepath.Join(dir, walFile), nameFn)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Store{dir: dir, nameFn: nameFn, wal: wal, walRecs: walRecs}, repo, nil
+}
+
+// loadStoreFile loads one JSONL file, returning (nil, nil) when absent.
+func loadStoreFile(path string, resolveFn func(string) (boolexpr.Var, bool)) (*Repository, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	repo, _, err := loadJSON(f, resolveFn)
+	return repo, err
+}
+
+// Append durably logs newly answered probes. It must be called after the
+// records were added to the repository (the repository is the source of
+// truth for snapshots; the WAL only covers the window since the last one).
+func (s *Store) Append(recs ...ProbeRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.wal.Append(recs...); err != nil {
+		return err
+	}
+	s.walRecs += len(recs)
+	return nil
+}
+
+// WALRecords reports how many records the WAL holds beyond the snapshot.
+func (s *Store) WALRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walRecs
+}
+
+// Snapshot atomically persists the full repository and resets the WAL:
+// after it returns, the snapshot alone reproduces repo. Called on graceful
+// shutdown (and safe to call periodically to bound WAL growth).
+func (s *Store) Snapshot(repo *Repository) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := repo.SaveJSONFile(filepath.Join(s.dir, snapshotFile), s.nameFn); err != nil {
+		return err
+	}
+	// The snapshot now covers everything; truncate the WAL.
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	if err := os.Truncate(filepath.Join(s.dir, walFile), 0); err != nil {
+		return err
+	}
+	wal, err := OpenWAL(filepath.Join(s.dir, walFile), s.nameFn)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	s.walRecs = 0
+	return nil
+}
+
+// Close closes the WAL without snapshotting (crash-equivalent shutdown:
+// recovery replays the WAL).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Close()
+}

@@ -1,0 +1,99 @@
+package server
+
+// Wire types of the resolution service's HTTP/JSON API (version v1).
+//
+// A resolution session is created over a query and a strategy; a remote
+// oracle then alternates GET /v1/sessions/{id}/probe (which verification
+// the Probe Selector wants next) with POST /v1/sessions/{id}/answer until
+// the session reports done. Probe delivery is idempotent: retrying the
+// GET returns the same outstanding probe, and the POST names the tuple it
+// answers, so a lost response cannot misattribute an answer.
+
+// CreateSessionRequest starts a resolution session.
+type CreateSessionRequest struct {
+	// Query is the SPJU SQL statement to resolve.
+	Query string `json:"query"`
+	// Strategy selects probe selection: qvalue, ro, general (default),
+	// random, greedy, lal-only.
+	Strategy string `json:"strategy,omitempty"`
+	// Learning selects probability learning: ep, offline, online (default).
+	Learning string `json:"learning,omitempty"`
+	// Model selects the Learner's classifier: rf (default) or nb.
+	Model string `json:"model,omitempty"`
+	// Seed fixes the session's random choices (0 is a valid fixed seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Trees overrides the forest size (default 100).
+	Trees int `json:"trees,omitempty"`
+}
+
+// SessionInfo describes one live session.
+type SessionInfo struct {
+	ID string `json:"id"`
+	// Strategy is the configuration's display name (e.g. "General+LAL").
+	Strategy string `json:"strategy"`
+	// Rows is the number of query result rows under resolution.
+	Rows int `json:"rows"`
+	// Probes is the number of answers recorded so far.
+	Probes int `json:"probes"`
+	// KnownReused counts verifications served from the shared repository
+	// instead of the oracle.
+	KnownReused int  `json:"known_reused"`
+	Done        bool `json:"done"`
+	// CreatedUnix and LastUsedUnix are Unix seconds.
+	CreatedUnix  int64 `json:"created_unix"`
+	LastUsedUnix int64 `json:"last_used_unix"`
+}
+
+// ProbeResponse is the outstanding verification request, or done.
+type ProbeResponse struct {
+	Done bool `json:"done"`
+	// Probe is set when Done is false.
+	Probe *ProbeJSON `json:"probe,omitempty"`
+}
+
+// ProbeJSON renders one probe request for a remote oracle.
+type ProbeJSON struct {
+	Table string `json:"table"`
+	Index int    `json:"index"`
+	// Round is the probe-selection round this request belongs to.
+	Round int `json:"round"`
+	// Values are the tuple's rendered column values.
+	Values []string `json:"values"`
+	// Meta is the tuple's metadata.
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// AnswerRequest delivers the oracle's verdict for the outstanding probe.
+type AnswerRequest struct {
+	Table  string `json:"table"`
+	Index  int    `json:"index"`
+	Answer bool   `json:"answer"`
+}
+
+// AnswerResponse acknowledges a recorded answer.
+type AnswerResponse struct {
+	Done bool `json:"done"`
+	// Probes is the total number of answers recorded in this session.
+	Probes int `json:"probes"`
+}
+
+// RowStatusJSON is the live resolution status of one output row.
+type RowStatusJSON struct {
+	Row int `json:"row"`
+	// Values are the row's rendered column values.
+	Values []string `json:"values"`
+	// Status is "unknown", "correct" or "incorrect".
+	Status string `json:"status"`
+}
+
+// StatusResponse reports a session's live resolution state — the paper's
+// interactive view of which answers are already decided.
+type StatusResponse struct {
+	SessionInfo
+	RowStatus []RowStatusJSON `json:"row_status"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

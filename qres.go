@@ -92,6 +92,10 @@ type DB struct {
 	data   *table.Database
 	udb    *uncertain.DB
 	frozen bool
+
+	// sharedRepo is the database's shared Known Probes Repository handle
+	// (see ProbeRepository / WithRepository), created lazily.
+	sharedRepo *Repository
 }
 
 // New returns an empty uncertain database.

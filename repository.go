@@ -1,0 +1,90 @@
+package qres
+
+import (
+	"io"
+
+	"qres/internal/boolexpr"
+	"qres/internal/resolve"
+)
+
+// Repository is a shared Known Probes Repository (paper Figure 3): the
+// accumulated set of verified tuples with their metadata and answers. A
+// repository passed to multiple sessions via WithRepository is extended in
+// place by every answer any of them obtains, so later sessions reuse
+// earlier verifications without re-asking the oracle — the paper's
+// accumulation of probe answers across queries and sessions. It is safe
+// for concurrent use by parallel sessions.
+type Repository struct {
+	db    *DB
+	inner *resolve.Repository
+}
+
+// ProbeRepository returns the database's shared probes repository handle,
+// creating an empty one on first use. The database must be frozen (a
+// query must have run) so tuple variables exist.
+func (db *DB) ProbeRepository() *Repository {
+	if db.sharedRepo == nil {
+		db.sharedRepo = &Repository{db: db, inner: resolve.NewRepository()}
+	}
+	return db.sharedRepo
+}
+
+// Len returns the number of recorded verifications.
+func (r *Repository) Len() int { return r.inner.Len() }
+
+// Known reports the recorded answer for a tuple, if any.
+func (r *Repository) Known(ref TupleRef) (correct, known bool) {
+	v, err := r.db.varFor(ref)
+	if err != nil {
+		return false, false
+	}
+	return r.inner.Answer(v)
+}
+
+// Record stores a verified answer for a tuple directly (e.g. imported
+// from an external verification pipeline); sessions sharing the
+// repository will reuse it.
+func (r *Repository) Record(ref TupleRef, correct bool) error {
+	v, err := r.db.varFor(ref)
+	if err != nil {
+		return err
+	}
+	r.inner.AddVar(v, r.db.udb.MetaFor(v), correct)
+	return nil
+}
+
+// Save writes the repository as JSON Lines (one probe record per line),
+// with variables persisted under their stable "table[index]" names.
+func (r *Repository) Save(w io.Writer) error {
+	return r.inner.SaveJSON(w, r.db.udb.Registry().Name)
+}
+
+// LoadProbeRepository reads records written by Repository.Save and merges
+// them into the database's shared repository. Records naming tuples that
+// no longer exist are kept as metadata-only Learner training data.
+func (db *DB) LoadProbeRepository(rd io.Reader) (*Repository, error) {
+	db.freeze()
+	loaded, err := resolve.LoadJSON(rd, func(name string) (boolexpr.Var, bool) {
+		return db.udb.Registry().Lookup(name)
+	})
+	if err != nil {
+		return nil, err
+	}
+	repo := db.ProbeRepository()
+	for _, rec := range loaded.Records() {
+		if rec.HasVar {
+			repo.inner.AddVar(rec.Var, rec.Meta, rec.Answer)
+		} else {
+			repo.inner.Add(rec.Meta, rec.Answer)
+		}
+	}
+	return repo, nil
+}
+
+// WithRepository runs the session against a shared probes repository:
+// already-known answers are substituted before any oracle call, and every
+// new answer is recorded for future sessions. Combine with the
+// database's ProbeRepository (or LoadProbeRepository) handle.
+func WithRepository(r *Repository) Option {
+	return func(o *options) { o.repo = r }
+}

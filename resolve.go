@@ -31,6 +31,7 @@ type options struct {
 	costs     []tupleCost
 	sinks     []obs.Sink
 	reg       *obs.Registry
+	repo      *Repository
 	strategy  string
 	strandErr error
 }
@@ -232,9 +233,14 @@ func (db *DB) buildOptions(opts []Option) (*options, error) {
 	return o, nil
 }
 
-// repository seeds the internal probes repository from options.
+// repository seeds the internal probes repository from options. With
+// WithRepository the shared repository is used (and extended) in place;
+// otherwise each run gets a private one.
 func (db *DB) repository(o *options) (*resolve.Repository, error) {
 	repo := resolve.NewRepository()
+	if o.repo != nil {
+		repo = o.repo.inner
+	}
 	for _, ex := range o.training {
 		repo.Add(ex.meta, ex.answer)
 	}

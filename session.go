@@ -2,6 +2,7 @@ package qres
 
 import (
 	"errors"
+	"fmt"
 
 	"qres/internal/obs"
 	"qres/internal/resolve"
@@ -45,7 +46,10 @@ type Session struct {
 	reg     *obs.Registry
 }
 
-// NewSession prepares a step-wise resolution over the query result.
+// NewSession prepares a step-wise resolution over the query result. orc
+// may be nil: the session must then be driven through the asynchronous
+// NextProbe/SubmitAnswer pair, with answers delivered from outside (a
+// remote expert, a crowd platform); Step returns an error in that mode.
 func (db *DB) NewSession(res *Result, orc Oracle, opts ...Option) (*Session, error) {
 	o, err := db.buildOptions(opts)
 	if err != nil {
@@ -56,7 +60,11 @@ func (db *DB) NewSession(res *Result, orc Oracle, opts ...Option) (*Session, err
 		return nil, err
 	}
 	adapter := &oracleAdapter{db: db, inner: orc}
-	inner, err := resolve.NewSession(db.udb, res.res, adapter, repo, o.cfg)
+	var innerOracle resolve.Oracle
+	if orc != nil {
+		innerOracle = adapter
+	}
+	inner, err := resolve.NewSession(db.udb, res.res, innerOracle, repo, o.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -79,6 +87,56 @@ func (s *Session) Step() (probed TupleRef, done bool, err error) {
 		}
 	}
 	return probed, done, nil
+}
+
+// Probe is an outstanding verification request of the asynchronous
+// session API: the tuple the Probe Selector chose, rendered for a remote
+// oracle — reference, column values, and the metadata the Learner trains
+// on. The oracle answers by calling SubmitAnswer with the same reference.
+type Probe struct {
+	// Ref identifies the tuple to verify.
+	Ref TupleRef
+	// Values are the tuple's rendered column values.
+	Values []string
+	// Meta is the tuple's metadata (including derived attributes).
+	Meta map[string]string
+}
+
+// NextProbe runs probe selection and parks the session on the chosen
+// tuple, returning the verification request without calling any oracle —
+// the asynchronous half-step that lets a remote oracle take arbitrarily
+// long per answer. Calling NextProbe again before SubmitAnswer returns
+// the same outstanding request (the endpoint is idempotent). done=true
+// means every row is already decided and no probe is needed.
+func (s *Session) NextProbe() (probe Probe, done bool, err error) {
+	req, done, err := s.inner.NextProbe()
+	if done || err != nil {
+		return Probe{}, done, err
+	}
+	ref, ok := s.db.udb.RefFor(req.Var)
+	if !ok {
+		return Probe{}, false, fmt.Errorf("qres: probe selected unknown variable %d", req.Var)
+	}
+	pub := TupleRef{Table: ref.Relation, Index: ref.Index}
+	values, _, _ := s.db.Tuple(pub)
+	return Probe{Ref: pub, Values: values, Meta: req.Meta}, false, nil
+}
+
+// SubmitAnswer delivers the oracle's verdict for the outstanding probe:
+// the answer is recorded, the Learner retrains, and the session advances.
+// ref must match the reference returned by NextProbe; submitting with no
+// probe outstanding or for a different tuple is an error that leaves the
+// session untouched.
+func (s *Session) SubmitAnswer(ref TupleRef, correct bool) (done bool, err error) {
+	v, err := s.db.varFor(ref)
+	if err != nil {
+		return false, err
+	}
+	done, err = s.inner.SubmitAnswer(v, correct)
+	if err == nil {
+		s.adapter.log = append(s.adapter.log, ref)
+	}
+	return done, err
 }
 
 // Done reports whether every row's correctness is decided.
