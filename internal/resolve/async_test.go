@@ -155,6 +155,76 @@ func TestAsyncInterleavedSessions(t *testing.T) {
 	}
 }
 
+// TestNextProbeAppliesConcurrentAnswers shares one repository between two
+// sessions created before any answers exist. After the first session
+// resolves, the second must apply the repository's answers inside
+// NextProbe instead of selecting already-known variables for the oracle —
+// the cross-session reuse that session creation alone cannot provide.
+func TestNextProbeAppliesConcurrentAnswers(t *testing.T) {
+	udb, res, gt := paperSetup(t, 29)
+	cfg := Config{Utility: General{}, Learning: LearnOnline, Seed: 9}
+	shared := NewRepository()
+
+	a, err := NewSession(udb, res, nil, shared, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSession(udb, res, nil, shared, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive a to completion; its answers land in the shared repository.
+	for {
+		req, done, err := a.NextProbe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		answer, _ := gt.Val.Get(req.Var)
+		if _, err := a.SubmitAnswer(req.Var, answer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b was created against an empty repository, so none of a's answers
+	// were reused at construction; NextProbe must pick them up now and
+	// never hand a known variable to the oracle.
+	for {
+		req, done, err := b.NextProbe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if _, known := shared.Answer(req.Var); known {
+			t.Fatalf("NextProbe selected repository-known variable %d", req.Var)
+		}
+		answer, _ := gt.Val.Get(req.Var)
+		if _, err := b.SubmitAnswer(req.Var, answer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The answers that decided a's expressions decide b's identical ones,
+	// so b resolves entirely from the repository.
+	if got := b.Stats().Probes; got != 0 {
+		t.Errorf("second session probed %d times, want 0 (full reuse)", got)
+	}
+	if b.Stats().KnownReused == 0 {
+		t.Error("no repository reuse recorded")
+	}
+	out, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Answers {
+		if want := res.Rows[i].Prov.Eval(gt.Val); out.Answers[i].Correct != want {
+			t.Errorf("row %d = %v, ground truth %v", i, out.Answers[i].Correct, want)
+		}
+	}
+}
+
 // TestSubmitAnswerValidation covers the async API's error paths.
 func TestSubmitAnswerValidation(t *testing.T) {
 	udb, res, gt := paperSetup(t, 5)

@@ -108,6 +108,108 @@ func TestLoadJSONSkipsTruncatedTrailingLine(t *testing.T) {
 	}
 }
 
+func TestStoreRepairsTornWALOnRecovery(t *testing.T) {
+	reg := boolexpr.NewRegistry()
+	a := reg.Intern("facts[0]")
+	b := reg.Intern("facts[1]")
+	name := reg.Name
+	resolveFn := func(n string) (boolexpr.Var, bool) { return reg.Lookup(n) }
+
+	// A WAL with one complete record and a torn trailing write.
+	dir := t.TempDir()
+	torn := `{"var":"facts[0]","meta":{"source":"x"},"answer":true}` + "\n" +
+		`{"var":"facts[1]","meta":{"sou` // crash mid-append
+	if err := os.WriteFile(filepath.Join(dir, walFile), []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, repo, err := OpenStore(dir, name, resolveFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() != 1 {
+		t.Fatalf("recovered Len = %d, want 1 (torn line dropped)", repo.Len())
+	}
+	// The first append after recovery must start on a clean line boundary,
+	// not concatenate onto the torn fragment.
+	repo.AddVar(b, map[string]string{"source": "y"}, false)
+	if err := store.Append(ProbeRecord{Var: b, HasVar: true, Meta: map[string]string{"source": "y"}, Answer: false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next recovery sees only well-formed lines and loses nothing.
+	store2, repo2, err := OpenStore(dir, name, resolveFn)
+	if err != nil {
+		t.Fatalf("recovery after post-repair append: %v", err)
+	}
+	defer store2.Close()
+	if repo2.Len() != 2 {
+		t.Fatalf("second recovery Len = %d, want 2", repo2.Len())
+	}
+	if ans, ok := repo2.Answer(a); !ok || !ans {
+		t.Error("pre-crash answer lost")
+	}
+	if ans, ok := repo2.Answer(b); !ok || ans {
+		t.Error("post-repair answer lost")
+	}
+
+	// Mid-file damage (bad line followed by good ones) is not repaired:
+	// recovery reports it instead of silently dropping acknowledged lines.
+	dir2 := t.TempDir()
+	damaged := "not json\n" + `{"var":"facts[0]","answer":true}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir2, walFile), []byte(damaged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenStore(dir2, name, resolveFn); err == nil {
+		t.Error("mid-file WAL corruption accepted")
+	}
+	if got, err := os.ReadFile(filepath.Join(dir2, walFile)); err != nil || string(got) != damaged {
+		t.Errorf("damaged WAL modified by failed recovery: %q", got)
+	}
+}
+
+func TestStoreUpdateExcludesSnapshot(t *testing.T) {
+	reg := boolexpr.NewRegistry()
+	a := reg.Intern("facts[0]")
+	name := reg.Name
+	resolveFn := func(n string) (boolexpr.Var, bool) { return reg.Lookup(n) }
+
+	dir := t.TempDir()
+	store, repo, err := OpenStore(dir, name, resolveFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repository add + WAL append inside one Update: a snapshot taken at
+	// any point sees both effects or neither, so recovery never replays a
+	// record the snapshot already contains.
+	err = store.Update(func(append func(...ProbeRecord) error) error {
+		repo.AddVar(a, map[string]string{"source": "x"}, true)
+		return append(ProbeRecord{Var: a, HasVar: true, Meta: map[string]string{"source": "x"}, Answer: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.WALRecords() != 1 {
+		t.Fatalf("WALRecords = %d, want 1", store.WALRecords())
+	}
+	if err := store.Snapshot(repo); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, repo2, err := OpenStore(dir, name, resolveFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo2.Len() != 1 {
+		t.Fatalf("recovered Len = %d, want 1 (no duplicate replay)", repo2.Len())
+	}
+}
+
 func TestSaveJSONFileAtomic(t *testing.T) {
 	reg := boolexpr.NewRegistry()
 	a := reg.Intern("facts[0]")

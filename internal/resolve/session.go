@@ -364,38 +364,83 @@ func (s *Session) Valuation() *boolexpr.Valuation { return s.val }
 // oracle needs. It never calls the oracle. Calling NextProbe again before
 // SubmitAnswer returns the same outstanding request without re-running
 // selection, so the endpoint is idempotent and the RNG state is untouched
-// by retries. done=true (with a zero request) means every expression is
+// by retries. Variables that concurrent sessions sharing the repository
+// have answered since this session was created are applied directly (the
+// late counterpart of the constructor's Step 3 reuse) rather than sent to
+// the oracle. done=true (with a zero request) means every expression is
 // already decided.
 func (s *Session) NextProbe() (req ProbeRequest, done bool, err error) {
 	if s.err != nil {
 		return ProbeRequest{}, true, s.err
 	}
-	if s.work.done() {
-		return ProbeRequest{}, true, nil
-	}
 	if s.pending != nil {
 		return *s.pending, false, nil
 	}
-	candidates := s.work.candidates()
-	if len(candidates) == 0 {
-		// Cannot happen for sound worksets: undecided expressions always
-		// contain variables.
-		s.err = errors.New("resolve: undecided expressions but no candidates")
-		return ProbeRequest{}, true, s.err
+	for {
+		if s.work.done() {
+			return ProbeRequest{}, true, nil
+		}
+		candidates := s.work.candidates()
+		if len(candidates) == 0 {
+			// Cannot happen for sound worksets: undecided expressions always
+			// contain variables.
+			s.err = errors.New("resolve: undecided expressions but no candidates")
+			return ProbeRequest{}, true, s.err
+		}
+		unknown := candidates[:0:0]
+		for _, v := range candidates {
+			if ans, ok := s.repo.Answer(v); ok {
+				if err := s.applyKnown(v, ans); err != nil {
+					return ProbeRequest{}, true, err
+				}
+				continue
+			}
+			unknown = append(unknown, v)
+		}
+		if len(unknown) < len(candidates) {
+			// Applied answers may have decided expressions; re-derive the
+			// candidate set before running selection.
+			continue
+		}
+		v, err := s.strategy.next(s, unknown)
+		if err != nil {
+			s.err = err
+			return ProbeRequest{}, true, err
+		}
+		if s.val.Assigned(v) {
+			s.err = fmt.Errorf("resolve: strategy re-probed variable %d", v)
+			return ProbeRequest{}, true, s.err
+		}
+		// Selection can be slow; a concurrent session may have answered the
+		// chosen variable meanwhile. Apply the answer and reselect.
+		if ans, ok := s.repo.Answer(v); ok {
+			if err := s.applyKnown(v, ans); err != nil {
+				return ProbeRequest{}, true, err
+			}
+			continue
+		}
+		s.pending = &ProbeRequest{Var: v, Round: s.round, Meta: s.db.MetaFor(v)}
+		s.pendingAt = time.Now()
+		return *s.pending, false, nil
 	}
+}
 
-	v, err := s.strategy.next(s, candidates)
+// applyKnown plugs a repository-known answer into the working expressions
+// without an oracle probe, counting it as repository reuse.
+func (s *Session) applyKnown(v boolexpr.Var, answer bool) error {
+	start := time.Now()
+	s.val.Set(v, answer)
+	s.stats.KnownReused++
+	decided, err := s.work.applyProbe(v, answer)
 	if err != nil {
 		s.err = err
-		return ProbeRequest{}, true, err
+		return err
 	}
-	if s.val.Assigned(v) {
-		s.err = fmt.Errorf("resolve: strategy re-probed variable %d", v)
-		return ProbeRequest{}, true, s.err
-	}
-	s.pending = &ProbeRequest{Var: v, Round: s.round, Meta: s.db.MetaFor(v)}
-	s.pendingAt = time.Now()
-	return *s.pending, false, nil
+	s.obs.Emit(obs.StageRepoReuse, s.round, start, time.Since(start),
+		obs.Int("var", int(v)), obs.Int("decided", len(decided)),
+		obs.Int("undecided", s.work.undecided))
+	s.obs.Gauge("undecided_exprs", float64(s.work.undecided))
+	return nil
 }
 
 // Pending returns the outstanding probe request, if any.

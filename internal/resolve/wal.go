@@ -1,6 +1,7 @@
 package resolve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -14,9 +15,10 @@ import (
 // Probes Repository as a snapshot file plus a write-ahead log. Every
 // answered probe is appended (and fsynced) to the WAL before the answer
 // is acknowledged; on a clean shutdown the full repository is snapshotted
-// atomically (SaveJSONFile) and the WAL is reset. Recovery loads the
-// snapshot and replays the WAL, skipping at most one torn trailing line,
-// so a crash loses no acknowledged answer.
+// atomically (SaveJSONFile) and the WAL is reset. Recovery truncates a
+// torn trailing WAL line left by a crash mid-append, then loads the
+// snapshot and replays the repaired WAL, so a crash loses no acknowledged
+// answer and appends after recovery start on a clean line boundary.
 
 // Snapshot and WAL file names inside a store directory.
 const (
@@ -102,7 +104,11 @@ func OpenStore(dir string, nameFn func(boolexpr.Var) string, resolveFn func(stri
 	if err != nil {
 		return nil, nil, fmt.Errorf("resolve: store snapshot: %w", err)
 	}
-	walRepo, err := loadStoreFile(filepath.Join(dir, walFile), resolveFn)
+	walPath := filepath.Join(dir, walFile)
+	if err := repairWAL(walPath); err != nil {
+		return nil, nil, fmt.Errorf("resolve: store wal repair: %w", err)
+	}
+	walRepo, err := loadStoreFile(walPath, resolveFn)
 	if err != nil {
 		return nil, nil, fmt.Errorf("resolve: store wal: %w", err)
 	}
@@ -123,11 +129,67 @@ func OpenStore(dir string, nameFn func(boolexpr.Var) string, resolveFn func(stri
 	if repo == nil {
 		repo = NewRepository()
 	}
-	wal, err := OpenWAL(filepath.Join(dir, walFile), nameFn)
+	wal, err := OpenWAL(walPath, nameFn)
 	if err != nil {
 		return nil, nil, err
 	}
 	return &Store{dir: dir, nameFn: nameFn, wal: wal, walRecs: walRecs}, repo, nil
+}
+
+// repairWAL truncates the log at path to the end of its last complete,
+// well-formed line. After a crash mid-append the file can end in a torn
+// fragment; replay skips the fragment, but appends must not be allowed to
+// concatenate onto it — the next record would share its line (losing that
+// acknowledged record) and the following recovery would then fail, seeing
+// a bad line followed by well-formed ones. Dropping the fragment never
+// loses an acknowledged answer: Append writes each record with its
+// trailing newline in one write and acknowledges only after fsync, so a
+// line missing its terminator (or undecodable) was never acknowledged.
+// Only a trailing tear is repaired; damage followed by further well-formed
+// lines is left untouched for the loader to report as corruption.
+func repairWAL(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	validEnd := 0
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated trailing fragment
+		}
+		line := data[off : off+nl]
+		off += nl + 1
+		if len(line) > 0 {
+			var jp jsonProbe
+			if json.Unmarshal(line, &jp) != nil {
+				if len(bytes.TrimSpace(data[off:])) > 0 {
+					return nil // mid-file damage, not a trailing tear
+				}
+				break
+			}
+		}
+		validEnd = off
+	}
+	if validEnd == len(data) {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(int64(validEnd)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadStoreFile loads one JSONL file, returning (nil, nil) when absent.
@@ -147,9 +209,28 @@ func loadStoreFile(path string, resolveFn func(string) (boolexpr.Var, bool)) (*R
 // Append durably logs newly answered probes. It must be called after the
 // records were added to the repository (the repository is the source of
 // truth for snapshots; the WAL only covers the window since the last one).
+// Callers that may Snapshot concurrently with answering must instead wrap
+// the repository add and the append together in Update, or a snapshot
+// taken between the two captures the record and the append then lands in
+// the freshly reset WAL, making recovery replay it twice.
 func (s *Store) Append(recs ...ProbeRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.appendLocked(recs...)
+}
+
+// Update runs fn while holding the store lock, excluding Snapshot for its
+// duration. fn receives an append function behaving like Store.Append;
+// performing the repository add and the WAL append inside one Update makes
+// the pair atomic with respect to Snapshot, so a snapshot observes either
+// both effects or neither and recovery never duplicates a record.
+func (s *Store) Update(fn func(append func(...ProbeRecord) error) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s.appendLocked)
+}
+
+func (s *Store) appendLocked(recs ...ProbeRecord) error {
 	if err := s.wal.Append(recs...); err != nil {
 		return err
 	}
@@ -166,7 +247,9 @@ func (s *Store) WALRecords() int {
 
 // Snapshot atomically persists the full repository and resets the WAL:
 // after it returns, the snapshot alone reproduces repo. Called on graceful
-// shutdown (and safe to call periodically to bound WAL growth).
+// shutdown; it is also safe to call periodically to bound WAL growth,
+// provided every concurrent answer path adds to the repository and appends
+// to the WAL inside a single Update call (as the server does).
 func (s *Store) Snapshot(repo *Repository) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

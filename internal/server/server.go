@@ -220,8 +220,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, s.info(sess))
+	writeJSONStatus(w, http.StatusCreated, s.info(sess))
 }
 
 func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
@@ -285,24 +284,42 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.touch()
-	done, err := sess.inner.SubmitAnswer(v, req.Answer)
-	if err != nil {
+	// SubmitAnswer adds the record to the shared repository and the append
+	// logs it to the WAL; running both inside one Store.Update makes the
+	// pair atomic with respect to Snapshot, so a periodic snapshot cannot
+	// capture the repository add and then see the append land in the
+	// freshly reset WAL (which would replay the record twice on recovery).
+	var done bool
+	var submitErr error
+	submitAndLog := func(append func(...resolve.ProbeRecord) error) error {
+		done, submitErr = sess.inner.SubmitAnswer(v, req.Answer)
+		if submitErr != nil || append == nil {
+			return nil
+		}
+		return append(resolve.ProbeRecord{Var: v, HasVar: true, Meta: s.udb.MetaFor(v), Answer: req.Answer})
+	}
+	var walErr error
+	if s.store != nil {
+		walErr = s.store.Update(submitAndLog)
+	} else {
+		_ = submitAndLog(nil)
+	}
+	if submitErr != nil {
 		// Answer for the wrong tuple, or no probe outstanding: the
 		// session state is untouched, the client should re-GET the probe.
-		writeError(w, http.StatusConflict, err)
+		writeError(w, http.StatusConflict, submitErr)
+		return
+	}
+	if walErr != nil {
+		// The answer is recorded in memory but not durable; surface
+		// the fault rather than acknowledging a lost write.
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", walErr))
 		return
 	}
 	sess.probes++
 	sess.done = done
 	s.reg.Counter("answers_total").Inc()
 	if s.store != nil {
-		rec := resolve.ProbeRecord{Var: v, HasVar: true, Meta: s.udb.MetaFor(v), Answer: req.Answer}
-		if err := s.store.Append(rec); err != nil {
-			// The answer is recorded in memory but not durable; surface
-			// the fault rather than acknowledging a lost write.
-			writeError(w, http.StatusInternalServerError, fmt.Errorf("wal append: %w", err))
-			return
-		}
 		s.reg.Gauge("wal_records").Set(float64(s.store.WALRecords()))
 	}
 	writeJSON(w, AnswerResponse{Done: done, Probes: sess.probes})
@@ -432,6 +449,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if w.Header().Get("Content-Type") == "" {
 		w.Header().Set("Content-Type", "application/json")
 	}
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONStatus writes a JSON body with a non-200 status, setting the
+// Content-Type before WriteHeader (headers set afterwards are ignored).
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 

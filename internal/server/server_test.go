@@ -77,6 +77,9 @@ func doJSON(method, url string, body, out any) (int, error) {
 	}
 	defer resp.Body.Close()
 	if out != nil && resp.StatusCode < 300 {
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			return resp.StatusCode, fmt.Errorf("Content-Type %q, want application/json", ct)
+		}
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			return resp.StatusCode, err
 		}
