@@ -9,7 +9,11 @@ package qres_test
 // report tables.
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"qres/internal/bench"
 	"qres/internal/boolexpr"
@@ -198,4 +202,83 @@ func BenchmarkUtilityScores(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkResolveStepPath measures the per-step resolve path — probe
+// selection (probabilities, utility, selector) plus answer simplification
+// — with the incremental hot path on and off, on the large TPC-H-like
+// workload. The probe sequences are identical in both modes (see the
+// equivalence tests), so ns/step is directly comparable. After both
+// sub-benchmarks run, the pair is appended as a trajectory point to
+// results/BENCH_resolve.json.
+func BenchmarkResolveStepPath(b *testing.B) {
+	sc := bench.Scale{TPCHSF: 0.02, NELLAthletes: 120, InitialProbes: 0, Trees: 10, Reps: 1}
+	w, err := bench.LoadTPCH("Q3", sc, bench.FixedGroundTruth(0.5), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := resolve.Config{Utility: resolve.General{}, Learning: resolve.LearnEP}
+	nsPerStep := make(map[string]float64)
+	var steps int
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"full", true},
+		{"incremental", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := cfg
+			c.DisableIncremental = mode.disable
+			total := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := w.RunWithOracle(c, 0, 7, w.Oracle())
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += out.Probes
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(total)
+			b.ReportMetric(ns, "ns/step")
+			nsPerStep[mode.name] = ns
+			steps = total / b.N
+		})
+	}
+	full, inc := nsPerStep["full"], nsPerStep["incremental"]
+	if full == 0 || inc == 0 {
+		return // a sub-benchmark was filtered out; nothing to record
+	}
+	point := map[string]any{
+		"date":                    time.Now().UTC().Format("2006-01-02"),
+		"workload":                "tpch-q3",
+		"config":                  cfg.Name(),
+		"scale_factor":            sc.TPCHSF,
+		"steps":                   steps,
+		"full_ns_per_step":        full,
+		"incremental_ns_per_step": inc,
+		"speedup":                 full / inc,
+	}
+	if err := appendBenchTrajectory(filepath.Join("results", "BENCH_resolve.json"), point); err != nil {
+		b.Logf("recording trajectory point: %v", err)
+	}
+}
+
+// appendBenchTrajectory appends one measurement to a JSON trajectory file
+// (an array of points, newest last).
+func appendBenchTrajectory(path string, point map[string]any) error {
+	var points []map[string]any
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &points); err != nil {
+			return err
+		}
+	}
+	points = append(points, point)
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

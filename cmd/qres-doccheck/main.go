@@ -1,0 +1,148 @@
+// Command qres-doccheck verifies godoc coverage: it parses one or more Go
+// package directories and fails (exit code 1) when any exported top-level
+// symbol — function, method on an exported type, type, constant or
+// variable — lacks a documentation comment. It is dependency-free (go/ast
+// and go/parser only) and runs in CI as part of the docs job:
+//
+//	go run ./cmd/qres-doccheck .          # check the root qres package
+//	go run ./cmd/qres-doccheck ./a ./b    # check several directories
+//
+// A constant or variable group is considered documented when either the
+// group declaration or the individual spec carries a comment, matching the
+// usual Go style for iota blocks.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var problems []string
+	for _, dir := range dirs {
+		ps, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qres-doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "qres-doccheck: %d undocumented exported symbol(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses the non-test files of every package in dir and returns
+// one "file:line: symbol" problem string per undocumented exported symbol.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s is exported but undocumented", p.Filename, p.Line, what))
+	}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if recv, method := receiverType(d); method {
+						if !ast.IsExported(recv) {
+							continue // method on an unexported type
+						}
+						report(d.Pos(), recv+"."+d.Name.Name)
+						continue
+					}
+					report(d.Pos(), d.Name.Name)
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// receiverType returns the receiver's type name for a method declaration
+// (pointer receivers unwrapped) and whether d is a method at all.
+func receiverType(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers appear as IndexExpr / IndexListExpr around the name.
+	for {
+		switch x := t.(type) {
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name, true
+		default:
+			return "", true
+		}
+	}
+}
+
+// checkGenDecl reports undocumented exported types, constants and
+// variables. A doc comment on the group declaration documents every spec
+// in it; otherwise each exported spec needs its own comment.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && ts.Doc == nil {
+				report(ts.Pos(), ts.Name.Name)
+			}
+		}
+	case token.CONST, token.VAR:
+		if d.Doc != nil {
+			return
+		}
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if vs.Doc != nil || vs.Comment != nil {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.IsExported() {
+					report(n.Pos(), n.Name)
+				}
+			}
+		}
+	}
+}

@@ -72,6 +72,95 @@ func ExampleResult_Provenance() {
 	// gadget: reviews[2]
 }
 
+// ExampleSession_NextProbe drives a resolution through the asynchronous
+// NextProbe / SubmitAnswer pair: probe selection is decoupled from answer
+// delivery, so a remote oracle (an expert, a crowd platform) can take
+// arbitrarily long per answer without holding a goroutine. The session is
+// constructed with a nil oracle — answers only ever arrive via
+// SubmitAnswer.
+func ExampleSession_NextProbe() {
+	db := qres.New()
+	db.MustCreateTable("claims",
+		qres.Column{Name: "fact", Kind: qres.String},
+		qres.Column{Name: "src", Kind: qres.String})
+	correct := map[qres.TupleRef]bool{
+		db.MustInsert("claims", []any{"a", "wiki"}, map[string]string{"source": "wiki"}):   true,
+		db.MustInsert("claims", []any{"b", "forum"}, map[string]string{"source": "forum"}): false,
+	}
+	res, err := db.Query(`SELECT DISTINCT fact FROM claims`)
+	if err != nil {
+		panic(err)
+	}
+	sess, err := db.NewSession(res, nil,
+		qres.WithStrategy("general"), qres.WithLearning("ep"), qres.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	for {
+		probe, done, err := sess.NextProbe()
+		if err != nil {
+			panic(err)
+		}
+		if done {
+			break
+		}
+		// The answer would normally come back later, from outside.
+		if _, err := sess.SubmitAnswer(probe.Ref, correct[probe.Ref]); err != nil {
+			panic(err)
+		}
+		fmt.Printf("verified %s -> %t\n", probe.Ref, correct[probe.Ref])
+	}
+	resolution, err := sess.Resolution()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("correct rows: %v\n", resolution.CorrectRows)
+	// Output:
+	// verified claims[0] -> true
+	// verified claims[1] -> false
+	// correct rows: [0]
+}
+
+// ExampleWithRepository shares one Known Probes Repository across two
+// resolutions: answers obtained by the first session are substituted into
+// the second before any oracle call, so the second query resolves without
+// probing at all.
+func ExampleWithRepository() {
+	db := qres.New()
+	db.MustCreateTable("facts",
+		qres.Column{Name: "subject", Kind: qres.String},
+		qres.Column{Name: "object", Kind: qres.String})
+	db.MustInsert("facts", []any{"x", "y"}, nil)
+	db.MustInsert("facts", []any{"x", "z"}, nil)
+
+	first, err := db.Query(`SELECT DISTINCT object FROM facts`)
+	if err != nil {
+		panic(err)
+	}
+	repo := db.ProbeRepository()
+	oracle := qres.OracleFunc(func(qres.TupleRef) (bool, error) { return true, nil })
+	out1, err := db.Resolve(first, oracle,
+		qres.WithRepository(repo), qres.WithStrategy("general"), qres.WithLearning("ep"))
+	if err != nil {
+		panic(err)
+	}
+
+	second, err := db.Query(`SELECT DISTINCT subject FROM facts`)
+	if err != nil {
+		panic(err)
+	}
+	out2, err := db.Resolve(second, oracle,
+		qres.WithRepository(repo), qres.WithStrategy("general"), qres.WithLearning("ep"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first query probes: %d\n", out1.Probes)
+	fmt.Printf("second query probes: %d (reused from repository)\n", out2.Probes)
+	// Output:
+	// first query probes: 2
+	// second query probes: 0 (reused from repository)
+}
+
 // ExampleDB_Resolve_knownAnswers seeds the session with verifications that
 // were already performed, so only genuinely new tuples reach the oracle.
 func ExampleDB_Resolve_knownAnswers() {

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"qres/internal/oracle"
+	"qres/internal/resolve"
+)
+
+// The incremental hot path must select the identical probe sequence and
+// resolve the identical answer set Q(D_val*) as the full per-round
+// recompute on the seed workloads — the NELL-like knowledge base and the
+// TPC-H-like uncertain database — across utilities and learning modes.
+// This is the end-to-end counterpart of the synthetic equivalence test in
+// internal/resolve.
+func TestIncrementalEquivalenceSeedWorkloads(t *testing.T) {
+	sc := Scale{TPCHSF: 0.001, NELLAthletes: 50, InitialProbes: 40, Trees: 5, Reps: 1}
+
+	loads := []struct {
+		name string
+		load func() (*Workload, error)
+	}{
+		{"nell-ms1", func() (*Workload, error) { return LoadNELL("MS1", sc, RDTGroundTruth(), 17) }},
+		{"tpch-q3", func() (*Workload, error) { return LoadTPCH("Q3", sc, FixedGroundTruth(0.5), 17) }},
+	}
+	configs := []resolve.Config{
+		{Utility: resolve.QValue{}, Learning: resolve.LearnEP},
+		{Utility: resolve.RO{}, Learning: resolve.LearnEP},
+		{Utility: resolve.General{}, Learning: resolve.LearnEP},
+		{Utility: resolve.General{}, Learning: resolve.LearnOffline},
+		{Utility: resolve.RO{}, Learning: resolve.LearnOnline},
+	}
+
+	for _, ld := range loads {
+		w, err := ld.load()
+		if err != nil {
+			t.Fatalf("%s: %v", ld.name, err)
+		}
+		for _, cfg := range configs {
+			cfg.Trees = sc.Trees
+			name := ld.name + "/" + cfg.Name()
+			t.Run(name, func(t *testing.T) {
+				run := func(disable bool) ([]int, []int, int) {
+					c := cfg
+					c.DisableIncremental = disable
+					rec := oracle.NewRecorder(w.Oracle())
+					out, err := w.RunWithOracle(c, sc.InitialProbes, 23, rec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					probes := make([]int, 0, rec.Count())
+					for _, v := range rec.Probes() {
+						probes = append(probes, int(v))
+					}
+					return probes, out.CorrectRows(), out.Probes
+				}
+				fullProbes, fullRows, fullN := run(true)
+				incProbes, incRows, incN := run(false)
+				if fullN != incN || !reflect.DeepEqual(fullProbes, incProbes) {
+					t.Fatalf("probe sequence diverged (full %d probes, incremental %d)\nfull: %v\ninc:  %v",
+						fullN, incN, fullProbes, incProbes)
+				}
+				if !reflect.DeepEqual(fullRows, incRows) {
+					t.Fatalf("answer set diverged\nfull: %v\ninc:  %v", fullRows, incRows)
+				}
+			})
+		}
+	}
+}

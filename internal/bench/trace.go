@@ -77,5 +77,10 @@ func TraceRun(sc Scale, seed int64, w io.Writer) (*Report, error) {
 	rep.Note("probes=%d; every per-round component ran once per probe selection", probes)
 	rep.Note("sanity: Stats timers agree — learner n=%d lal n=%d utility n=%d selector n=%d",
 		st.Learner.Count(), st.LAL.Count(), st.Utility.Count(), st.Selector.Count())
+	ctr := func(metric string) int64 { return snap.Counters[obs.Key(metric, name)] }
+	rep.Note("incremental path: tuples_resimplified=%d vars_rescored=%d score_cache=%d/%d prob_cache=%d/%d (hits/misses)",
+		ctr("tuples_resimplified"), ctr("vars_rescored"),
+		ctr("score_cache_hits"), ctr("score_cache_misses"),
+		ctr("prob_cache_hits"), ctr("prob_cache_misses"))
 	return rep, nil
 }

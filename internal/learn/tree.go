@@ -2,6 +2,7 @@ package learn
 
 import (
 	"math/rand"
+	"sort"
 )
 
 // TreeConfig controls decision-tree induction.
@@ -142,7 +143,16 @@ func bestSplit(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (feature i
 		if len(byCode) < 2 {
 			continue // constant feature at this node
 		}
-		for c, ct := range byCode {
+		// Iterate codes in ascending order: map order would let tied splits
+		// pick a random winner, making training irreproducible under a
+		// fixed seed.
+		codes := make([]int32, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+		for _, c := range codes {
+			ct := byCode[c]
 			nl, pl := ct.n, ct.pos
 			nr, pr := len(idx)-nl, posTotal-pl
 			w := parent -

@@ -79,6 +79,7 @@ type Learner struct {
 	clf        probModel
 	forest     *learn.Forest // non-nil iff model == ModelRF and trained
 	retrains   int
+	version    uint64
 	knownProbs map[boolexpr.Var]float64
 	obs        *obs.Obs
 }
@@ -142,6 +143,14 @@ func (l *Learner) Mode() LearningMode { return l.mode }
 // Retrains returns how many times the classifier has been (re)trained.
 func (l *Learner) Retrains() int { return l.retrains }
 
+// Version identifies the current probability model: it starts at 0 and is
+// bumped by every successful (re)training pass. While the version is
+// unchanged, Prob is a pure function of the variable — EP, KnownProbs and
+// offline learners keep one version for the whole session — which is what
+// lets the incremental hot path cache probabilities and utility scores
+// across rounds and invalidate them exactly when the model moves.
+func (l *Learner) Version() uint64 { return l.version }
+
 // Trained reports whether a classifier is currently available (enough
 // training data has been seen).
 func (l *Learner) Trained() bool { return l.clf != nil }
@@ -167,6 +176,7 @@ func (l *Learner) retrain() {
 		l.forest = f
 	}
 	l.retrains++
+	l.version++
 	l.obs.Emit(obs.StageRetrain, -1, start, time.Since(start),
 		obs.Int("examples", l.repo.Len()),
 		obs.Str("model", l.model.String()),

@@ -368,12 +368,12 @@ func TestWorksetLifecycle(t *testing.T) {
 	}
 
 	// x1=True decides expression 1 (term {x1} satisfied) and shrinks 0.
-	decided, err := w.applyProbe(1, true)
+	delta, err := w.applyProbe(1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(decided) != 1 || decided[0] != 1 {
-		t.Fatalf("decided = %v, want [1]", decided)
+	if len(delta.decided) != 1 || delta.decided[0] != 1 {
+		t.Fatalf("decided = %v, want [1]", delta.decided)
 	}
 	if !w.exprs[1].IsTrue() {
 		t.Fatal("expression 1 should be True")

@@ -84,6 +84,16 @@ type Config struct {
 	// handle disables instrumentation at near-zero cost.
 	Obs *obs.Obs
 
+	// DisableIncremental turns off the incremental scoring hot path: every
+	// round then recomputes all probabilities and utility scores from
+	// scratch. Probe choices are bit-identical either way (the caches reuse
+	// the full path's arithmetic on unchanged inputs); the switch exists for
+	// benchmarking the speedup and as an escape hatch.
+	DisableIncremental bool
+	// RescoreWorkers bounds the parallelism of the incremental rescore
+	// (default GOMAXPROCS). Results are deterministic for any value.
+	RescoreWorkers int
+
 	// DisableSplitting turns off expression splitting entirely; sessions
 	// whose utility needs CNF then fail on oversized expressions.
 	DisableSplitting bool
@@ -145,6 +155,24 @@ type Stats struct {
 	// KnownReused counts variables resolved from the repository without
 	// an oracle call (Step 3).
 	KnownReused int
+	// TuplesResimplified counts provenance expressions re-simplified by
+	// probe answers over the session — the expressions actually touched via
+	// the variable→expression inverted index, not the full working set.
+	TuplesResimplified int
+	// VarsRescored counts candidate variables whose utility aggregate was
+	// recomputed during scoring. With the incremental path this is only the
+	// variables co-occurring with probed ones; the full path rescores every
+	// candidate every round.
+	VarsRescored int
+	// ScoreCacheHits and ScoreCacheMisses count candidates served from the
+	// incremental utility-score cache versus recomputed.
+	ScoreCacheHits   int
+	ScoreCacheMisses int
+	// ProbCacheHits and ProbCacheMisses count Learner probability estimates
+	// served from cache versus recomputed. The cache empties whenever the
+	// model retrains (Learner.Version moves).
+	ProbCacheHits   int
+	ProbCacheMisses int
 	// Learner, LAL, Utility and Selector time each framework component
 	// per probe selection. Baselines populate the timers they exercise
 	// (Random and Greedy only the Selector; LAL-only also the LAL timer).
@@ -160,6 +188,12 @@ func (st *Stats) Merge(other *Stats) {
 	st.Probes += other.Probes
 	st.Cost += other.Cost
 	st.KnownReused += other.KnownReused
+	st.TuplesResimplified += other.TuplesResimplified
+	st.VarsRescored += other.VarsRescored
+	st.ScoreCacheHits += other.ScoreCacheHits
+	st.ScoreCacheMisses += other.ScoreCacheMisses
+	st.ProbCacheHits += other.ProbCacheHits
+	st.ProbCacheMisses += other.ProbCacheMisses
 	st.Learner.Merge(&other.Learner)
 	st.LAL.Merge(&other.LAL)
 	st.Utility.Merge(&other.Utility)
@@ -171,6 +205,10 @@ func (st *Stats) Merge(other *Stats) {
 func (st *Stats) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "probes=%d cost=%.1f known_reused=%d\n", st.Probes, st.Cost, st.KnownReused)
+	fmt.Fprintf(&b, "resimplified=%d rescored=%d score_cache=%d/%d prob_cache=%d/%d (hits/misses)\n",
+		st.TuplesResimplified, st.VarsRescored,
+		st.ScoreCacheHits, st.ScoreCacheMisses,
+		st.ProbCacheHits, st.ProbCacheMisses)
 	row := func(name string, t *stats.Timer) {
 		s := t.Summary()
 		fmt.Fprintf(&b, "%-9s n=%-5d %s\n", name, s.Count, s)
@@ -223,12 +261,20 @@ type Session struct {
 	cfg      Config
 
 	work  *workset
+	inc   *incState           // incremental scoring caches; nil when disabled
 	val   *boolexpr.Valuation // accumulated answers for provenance variables
 	rng   *rand.Rand
 	round int
 	stats Stats
 	obs   *obs.Obs
 	err   error
+
+	// repoSeen is the repository length whose records this session has
+	// already reconciled against its candidates. The repository is
+	// append-only, so NextProbe skips the per-candidate known-answer scan
+	// entirely while Len() still equals repoSeen: a variable can only become
+	// known through a new record.
+	repoSeen int
 
 	// pending is the outstanding probe request of the async API: selected
 	// by NextProbe, waiting for SubmitAnswer. Nil when no probe is parked.
@@ -304,8 +350,12 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 		s.strategy = utilityStrategy{util: cfg.Utility, combine: combine}
 	}
 
-	// Step 3: plug in truth values already known from previous probes.
+	// Step 3: plug in truth values already known from previous probes. The
+	// length is captured before the scan so that any record added
+	// concurrently after this point keeps Len() ahead of repoSeen and
+	// triggers a NextProbe rescan.
 	reuseStart := time.Now()
+	s.repoSeen = repo.Len()
 	exprs := result.Provenance()
 	known := boolexpr.NewValuation()
 	for _, e := range exprs {
@@ -335,6 +385,9 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 		return nil, err
 	}
 	s.work = work
+	if !cfg.DisableIncremental {
+		s.inc = newIncState(work, s.learner, cfg.RescoreWorkers)
+	}
 	s.obs.Emit(obs.StageSplit, -1, splitStart, time.Since(splitStart),
 		obs.Int("parts", len(parts)),
 		obs.Int("undecided", work.undecided),
@@ -380,29 +433,40 @@ func (s *Session) NextProbe() (req ProbeRequest, done bool, err error) {
 		if s.work.done() {
 			return ProbeRequest{}, true, nil
 		}
-		candidates := s.work.candidates()
+		// The known-answer scan only matters when the repository has grown
+		// since this session last reconciled against it: answers this session
+		// applied itself are already out of the candidate set, so with an
+		// unchanged Len() the live candidate list can be used as is (read-only
+		// until the next applyProbe) without the copy or the per-candidate
+		// repository lookups.
+		candidates := s.work.cands
+		if n := s.repo.Len(); n != s.repoSeen {
+			candidates = s.work.candidates()
+			unknown := candidates[:0:0]
+			for _, v := range candidates {
+				if ans, ok := s.repo.Answer(v); ok {
+					if err := s.applyKnown(v, ans); err != nil {
+						return ProbeRequest{}, true, err
+					}
+					continue
+				}
+				unknown = append(unknown, v)
+			}
+			s.repoSeen = n
+			if len(unknown) < len(candidates) {
+				// Applied answers may have decided expressions; re-derive the
+				// candidate set before running selection.
+				continue
+			}
+			candidates = unknown
+		}
 		if len(candidates) == 0 {
 			// Cannot happen for sound worksets: undecided expressions always
 			// contain variables.
 			s.err = errors.New("resolve: undecided expressions but no candidates")
 			return ProbeRequest{}, true, s.err
 		}
-		unknown := candidates[:0:0]
-		for _, v := range candidates {
-			if ans, ok := s.repo.Answer(v); ok {
-				if err := s.applyKnown(v, ans); err != nil {
-					return ProbeRequest{}, true, err
-				}
-				continue
-			}
-			unknown = append(unknown, v)
-		}
-		if len(unknown) < len(candidates) {
-			// Applied answers may have decided expressions; re-derive the
-			// candidate set before running selection.
-			continue
-		}
-		v, err := s.strategy.next(s, unknown)
+		v, err := s.strategy.next(s, candidates)
 		if err != nil {
 			s.err = err
 			return ProbeRequest{}, true, err
@@ -431,16 +495,25 @@ func (s *Session) applyKnown(v boolexpr.Var, answer bool) error {
 	start := time.Now()
 	s.val.Set(v, answer)
 	s.stats.KnownReused++
-	decided, err := s.work.applyProbe(v, answer)
+	delta, err := s.work.applyProbe(v, answer)
 	if err != nil {
 		s.err = err
 		return err
 	}
+	s.noteDelta(delta)
 	s.obs.Emit(obs.StageRepoReuse, s.round, start, time.Since(start),
-		obs.Int("var", int(v)), obs.Int("decided", len(decided)),
+		obs.Int("var", int(v)), obs.Int("decided", len(delta.decided)),
 		obs.Int("undecided", s.work.undecided))
 	s.obs.Gauge("undecided_exprs", float64(s.work.undecided))
 	return nil
+}
+
+// noteDelta accounts one probe delta: the resimplification counters and
+// the incremental caches' dirty sets both feed off it.
+func (s *Session) noteDelta(d *probeDelta) {
+	s.stats.TuplesResimplified += len(d.touched)
+	s.obs.Count("tuples_resimplified", int64(len(d.touched)))
+	s.inc.noteDelta(d)
 }
 
 // Pending returns the outstanding probe request, if any.
@@ -476,15 +549,19 @@ func (s *Session) SubmitAnswer(v boolexpr.Var, answer bool) (done bool, err erro
 	s.stats.Cost += s.cost(v)
 	s.val.Set(v, answer)
 	s.learner.Observe(v, answer) // Step 5 + online retraining
+	s.repoSeen++                 // Observe appends exactly one record for our own probe
 
 	simplifyStart := time.Now()
-	decided, err := s.work.applyProbe(v, answer)
+	delta, err := s.work.applyProbe(v, answer)
 	if err != nil {
 		s.err = err
 		return true, err
 	}
+	s.noteDelta(delta)
 	s.obs.Emit(obs.StageSimplify, s.round, simplifyStart, time.Since(simplifyStart),
-		obs.Int("decided", len(decided)), obs.Int("undecided", s.work.undecided))
+		obs.Int("decided", len(delta.decided)),
+		obs.Int("resimplified", len(delta.touched)),
+		obs.Int("undecided", s.work.undecided))
 	s.obs.Gauge("undecided_exprs", float64(s.work.undecided))
 	s.round++
 	return s.work.done(), nil

@@ -48,19 +48,26 @@ func (QValue) NeedsCNF() bool { return true }
 func (QValue) Scores(w *workset, prob func(boolexpr.Var) float64, candidates []boolexpr.Var, _ int) map[boolexpr.Var]float64 {
 	out := make(map[boolexpr.Var]float64, len(candidates))
 	for _, v := range candidates {
-		p := prob(v)
-		var score float64
-		for _, i := range w.exprsWith(v) {
-			e, cnf := w.exprs[i], w.cnfs[i]
-			nt, nc := float64(e.NumTerms()), float64(cnf.NumClauses())
-			ntT, ncT, ntF, ncF := e.AssumeCounts(cnf, v)
-			score += nt*nc -
-				p*float64(ntT)*float64(ncT) -
-				(1-p)*float64(ntF)*float64(ncF)
-		}
-		out[v] = score
+		out[v] = qvalueVarScore(w, v, prob(v))
 	}
 	return out
+}
+
+// qvalueVarScore is one candidate's Formula (1) score: the expected drop
+// in the nt·nc product over the undecided expressions containing v. It is
+// shared verbatim by the full recompute and the incremental cache so both
+// paths produce bit-identical floats.
+func qvalueVarScore(w *workset, v boolexpr.Var, p float64) float64 {
+	var score float64
+	for _, i := range w.exprsWith(v) {
+		e, cnf := w.exprs[i], w.cnfs[i]
+		nt, nc := float64(e.NumTerms()), float64(cnf.NumClauses())
+		ntT, ncT, ntF, ncF := e.AssumeCounts(cnf, v)
+		score += nt*nc -
+			p*float64(ntT)*float64(ncT) -
+			(1-p)*float64(ntF)*float64(ncF)
+	}
+	return score
 }
 
 // RO is the paper's Formula (2): highest for the variables least likely to
@@ -100,11 +107,7 @@ func roScores(w *workset, prob func(boolexpr.Var) float64, candidates []boolexpr
 			continue
 		}
 		for _, t := range e.Terms() {
-			weight := 1.0
-			for _, x := range t {
-				weight *= prob(x)
-			}
-			weight /= float64(len(t))
+			weight := termWeight(t, prob)
 			weights = append(weights, weight)
 			for _, x := range t {
 				if weight > bestTermWeight[x] {
@@ -113,37 +116,75 @@ func roScores(w *workset, prob func(boolexpr.Var) float64, candidates []boolexpr
 			}
 		}
 	}
+	alpha := roAlpha(weights)
+	out := make(map[boolexpr.Var]float64, len(candidates))
+	for _, v := range candidates {
+		out[v] = roVarScore(prob(v), bestTermWeight[v], alpha)
+	}
+	return out
+}
 
-	// α must satisfy two dominance requirements from the paper's Formula
-	// (2) discussion: α·(W(T)+ε) > 1 for every term, so the weight summand
-	// always beats the (1−π̃) ≤ 1 tie-breaker — giving α ≥ (1+ε)/(ε+minW) —
-	// and, for "utility is strictly greater for variables occurring in
-	// terms with maximal weight" to hold, α·ΔW > 1 for every positive gap
-	// ΔW between distinct term weights — giving α > 1/gap for the smallest
-	// positive gap (weights within weightGapTolerance count as tied).
+// termWeight is the paper's W(T) = (1/|T|)·Π π̃(x): the term's truth
+// probability divided by the probes needed to evaluate it. Shared by the
+// full recompute and the incremental per-expression weight cache.
+func termWeight(t boolexpr.Term, prob func(boolexpr.Var) float64) float64 {
+	weight := 1.0
+	for _, x := range t {
+		weight *= prob(x)
+	}
+	return weight / float64(len(t))
+}
+
+// roVarScore is one candidate's Formula (2) score given its best term
+// weight and the dominance factor α.
+func roVarScore(p, bestWeight, alpha float64) float64 {
+	return (1 - p) + alpha*(bestWeight+roEpsilon)
+}
+
+// roAlpha sizes α from the multiset of undecided term weights. α must
+// satisfy two dominance requirements from the paper's Formula (2)
+// discussion: α·(W(T)+ε) > 1 for every term, so the weight summand always
+// beats the (1−π̃) ≤ 1 tie-breaker — giving α ≥ (1+ε)/(ε+minW) — and, for
+// "utility is strictly greater for variables occurring in terms with
+// maximal weight" to hold, α·ΔW > 1 for every positive gap ΔW between
+// distinct term weights — giving α > 1/gap for the smallest positive gap
+// (weights within weightGapTolerance count as tied). weights is sorted in
+// place.
+func roAlpha(weights []float64) float64 {
 	minW, gap := weightStats(weights)
+	return roAlphaFromStats(minW, gap)
+}
+
+// roAlphaFromStats derives α from precomputed multiset statistics — the
+// entry point of the incremental path, which maintains the sorted multiset
+// across probes instead of re-sorting.
+func roAlphaFromStats(minW, gap float64) float64 {
 	alpha := (1 + roEpsilon) / (roEpsilon + minW)
 	if gap > 0 {
 		if a := (1 + roEpsilon) / gap; a > alpha {
 			alpha = a
 		}
 	}
-
-	out := make(map[boolexpr.Var]float64, len(candidates))
-	for _, v := range candidates {
-		out[v] = (1 - prob(v)) + alpha*(bestTermWeight[v]+roEpsilon)
-	}
-	return out
+	return alpha
 }
 
 // weightStats returns the minimum term weight and the smallest positive
 // difference between distinct weights (0 when all weights tie or the set
-// is empty).
+// is empty). weights is sorted in place.
 func weightStats(weights []float64) (minW, gap float64) {
 	if len(weights) == 0 {
 		return 0, 0
 	}
 	sort.Float64s(weights)
+	return weightStatsSorted(weights)
+}
+
+// weightStatsSorted is weightStats over an already-ascending slice — the
+// incremental path maintains the multiset sorted and skips the sort.
+func weightStatsSorted(weights []float64) (minW, gap float64) {
+	if len(weights) == 0 {
+		return 0, 0
+	}
 	minW = weights[0]
 	gap = 0.0
 	for i := 1; i < len(weights); i++ {
@@ -188,7 +229,29 @@ func (General) Scores(w *workset, prob func(boolexpr.Var) float64, candidates []
 	}
 	out := make(map[boolexpr.Var]float64, len(candidates))
 	for _, v := range candidates {
-		out[v] = (1 - prob(v)) * float64(termCount[v])
+		out[v] = generalFalseScore(prob(v), termCount[v])
 	}
 	return out
+}
+
+// generalFalseScore is one candidate's Formula (3) score from its
+// undecided-term occurrence count.
+func generalFalseScore(p float64, termCount int) float64 {
+	return (1 - p) * float64(termCount)
+}
+
+// termOccurrences counts the undecided DNF terms containing v — the
+// per-variable form of Formula (3)'s sum, used by the incremental cache to
+// rescore only the variables a probe touched. Term counts are integers, so
+// the per-variable scan and the full map build agree exactly.
+func termOccurrences(w *workset, v boolexpr.Var) int {
+	n := 0
+	for _, i := range w.exprsWith(v) {
+		for _, t := range w.exprs[i].Terms() {
+			if t.Contains(v) {
+				n++
+			}
+		}
+	}
+	return n
 }

@@ -10,8 +10,12 @@ import (
 
 // workset is the evolving state of Boolean evaluation: the (possibly
 // split) provenance expressions simplified under all probe answers so far,
-// their CNFs when the utility function needs them, and an index from
-// variables to the expressions they occur in.
+// their CNFs when the utility function needs them, and the inverted index
+// from variables to the expressions they occur in. The index is built once
+// at session start and maintained incrementally: each probe touches only
+// the expressions that mention the probed variable, and the candidate set
+// is kept as a live sorted list instead of being re-derived from scratch
+// every round.
 type workset struct {
 	exprs  []boolexpr.Expr
 	partOf []int // expression index -> original output-row index
@@ -23,7 +27,16 @@ type workset struct {
 	exprVars []map[boolexpr.Var]bool
 	varIndex map[boolexpr.Var][]int
 
+	// occ counts, per variable, the undecided expressions containing it;
+	// cands is the ascending candidate list derived from it (variables
+	// with occ > 0). Both are maintained by applyProbe.
+	occ   map[boolexpr.Var]int
+	cands []boolexpr.Var
+
 	undecided int
+	// rev is bumped once per applyProbe; score caches use it to verify
+	// they reconciled every delta.
+	rev uint64
 }
 
 // newWorkset builds the working state. exprs are the provenance
@@ -38,6 +51,7 @@ func newWorkset(exprs []boolexpr.Expr, partOf []int, needCNF bool, cnfBound int)
 		needCNF:  needCNF,
 		cnfBound: cnfBound,
 		varIndex: make(map[boolexpr.Var][]int),
+		occ:      make(map[boolexpr.Var]int),
 	}
 	w.exprVars = make([]map[boolexpr.Var]bool, len(w.exprs))
 	if needCNF {
@@ -49,8 +63,16 @@ func newWorkset(exprs []boolexpr.Expr, partOf []int, needCNF bool, cnfBound int)
 		}
 		if !e.Decided() {
 			w.undecided++
+			for v := range w.exprVars[i] {
+				w.occ[v]++
+			}
 		}
 	}
+	w.cands = make([]boolexpr.Var, 0, len(w.occ))
+	for v := range w.occ {
+		w.cands = append(w.cands, v)
+	}
+	sort.Slice(w.cands, func(i, j int) bool { return w.cands[i] < w.cands[j] })
 	return w, nil
 }
 
@@ -104,37 +126,91 @@ func (w *workset) exprsWith(v boolexpr.Var) []int {
 // expressions, in ascending order: the candidate probes of the next
 // iteration. Probing any other variable cannot advance evaluation, and
 // the resolution invariant (never probe a variable that no longer matters)
-// is enforced by drawing probes from this set only.
+// is enforced by drawing probes from this set only. The returned slice is
+// a copy of the maintained list, so callers may hold it across applyProbe.
 func (w *workset) candidates() []boolexpr.Var {
-	var out []boolexpr.Var
-	for v := range w.varIndex {
-		if len(w.exprsWith(v)) > 0 {
-			out = append(out, v)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]boolexpr.Var(nil), w.cands...)
+}
+
+// probeDelta describes the effect of applying one probe answer: which
+// expressions were re-simplified, which of those became decided, and which
+// other variables had their surroundings change. It is the currency of the
+// incremental hot path — score caches reconcile exactly this delta instead
+// of rescoring every candidate.
+type probeDelta struct {
+	// probed is the answered variable; it leaves the candidate set.
+	probed boolexpr.Var
+	answer bool
+	// touched are the indices of the undecided expressions that contained
+	// probed and were re-simplified (every other expression kept its
+	// cached simplified DNF and CNF untouched).
+	touched []int
+	// decided is the subset of touched that became Boolean constants.
+	decided []int
+	// affected are the variables other than probed occurring in the
+	// touched expressions before simplification, ascending: exactly the
+	// variables whose cached per-variable aggregates may now be stale.
+	affected []boolexpr.Var
+	// dropped is the subset of affected that no longer occurs in any
+	// undecided expression and therefore left the candidate set.
+	dropped []boolexpr.Var
 }
 
 // applyProbe substitutes the answer for v into every expression containing
-// it, re-simplifying and updating caches. It returns the indices of
-// expressions that became decided by this probe.
-func (w *workset) applyProbe(v boolexpr.Var, answer bool) ([]int, error) {
+// it, re-simplifying only those and updating the inverted index, the
+// occurrence counts and the live candidate list. It returns the probe
+// delta for cache reconciliation.
+func (w *workset) applyProbe(v boolexpr.Var, answer bool) (*probeDelta, error) {
 	val := boolexpr.NewValuation()
 	val.Set(v, answer)
-	var decided []int
+	d := &probeDelta{probed: v, answer: answer}
+	affected := make(map[boolexpr.Var]bool)
 	for _, i := range w.exprsWith(v) {
+		for u := range w.exprVars[i] {
+			w.occ[u]-- // expr i was undecided and contained u
+			if u != v {
+				affected[u] = true
+			}
+		}
 		simplified := w.exprs[i].Simplify(val)
 		if err := w.refresh(i, simplified); err != nil {
 			return nil, err
 		}
 		if simplified.Decided() {
 			w.undecided--
-			decided = append(decided, i)
+			d.decided = append(d.decided, i)
+		} else {
+			for u := range w.exprVars[i] {
+				w.occ[u]++
+			}
 		}
+		d.touched = append(d.touched, i)
 	}
 	delete(w.varIndex, v)
-	return decided, nil
+	delete(w.occ, v)
+	w.dropCand(v)
+	d.affected = make([]boolexpr.Var, 0, len(affected))
+	for u := range affected {
+		d.affected = append(d.affected, u)
+	}
+	sort.Slice(d.affected, func(i, j int) bool { return d.affected[i] < d.affected[j] })
+	for _, u := range d.affected {
+		if w.occ[u] == 0 {
+			delete(w.occ, u)
+			w.dropCand(u)
+			d.dropped = append(d.dropped, u)
+		}
+	}
+	w.rev++
+	return d, nil
+}
+
+// dropCand removes v from the sorted candidate list, if present.
+func (w *workset) dropCand(v boolexpr.Var) {
+	i := sort.Search(len(w.cands), func(i int) bool { return w.cands[i] >= v })
+	if i < len(w.cands) && w.cands[i] == v {
+		w.cands = append(w.cands[:i], w.cands[i+1:]...)
+	}
 }
 
 // rowStatus aggregates part truth values back to original output rows
