@@ -69,6 +69,26 @@ func (e *Encoder) Attr(f int) string { return e.attrs[f] }
 // Cardinality returns the number of known codes of feature f.
 func (e *Encoder) Cardinality(f int) int { return len(e.dicts[f]) }
 
+// Covers reports whether meta lies entirely inside the encoder's
+// attribute/value universe: every attribute is a known feature and every
+// value has a category code. When it holds, rebuilding the encoder with
+// meta included would reproduce this encoder exactly (attribute order and
+// value dictionaries are first-occurrence stable), so warm-started
+// learners may keep the encoder — and every feature vector encoded under
+// it — instead of re-encoding the world.
+func (e *Encoder) Covers(meta map[string]string) bool {
+	for a, v := range meta {
+		i := sort.SearchStrings(e.attrs, a)
+		if i >= len(e.attrs) || e.attrs[i] != a {
+			return false
+		}
+		if _, ok := e.dicts[i][v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // Encode maps metadata to a feature vector. Missing or unseen values
 // encode as Unknown.
 func (e *Encoder) Encode(meta map[string]string) []int32 {

@@ -1,0 +1,215 @@
+package learn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomDataset builds a dataset of n rows over nf categorical features
+// with the given cardinality, labeled by a noisy hidden rule so trees have
+// real structure to find.
+func randomDataset(n, nf int, card int32, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		x := make([]int32, nf)
+		for f := range x {
+			x[f] = int32(rng.Intn(int(card)))
+			if rng.Intn(20) == 0 {
+				x[f] = Unknown // exercise the Unknown → counts[0] path
+			}
+		}
+		y := x[0]%2 == 0
+		if nf > 1 && x[1] < card/3 {
+			y = !y
+		}
+		if rng.Float64() < 0.1 {
+			y = !y
+		}
+		d.Add(x, y)
+	}
+	return d
+}
+
+// workerCounts is the table every determinism test sweeps: serial, a small
+// pool, and a pool far larger than the machine's single CPU.
+var workerCounts = []int{1, 2, 8}
+
+func TestFitForestBitIdenticalAcrossWorkers(t *testing.T) {
+	d := randomDataset(300, 6, 9, 1)
+	base := FitForest(d, ForestConfig{Trees: 24, Seed: 7, Workers: 1})
+	for _, w := range workerCounts[1:] {
+		f := FitForest(d, ForestConfig{Trees: 24, Seed: 7, Workers: w})
+		if !reflect.DeepEqual(base.trees, f.trees) {
+			t.Fatalf("Workers=%d forest differs from serial", w)
+		}
+	}
+	// Workers=0 (one per CPU) must also match.
+	f := FitForest(d, ForestConfig{Trees: 24, Seed: 7})
+	if !reflect.DeepEqual(base.trees, f.trees) {
+		t.Fatal("Workers=0 forest differs from serial")
+	}
+}
+
+func TestFitRegForestBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := &RegDataset{}
+	for i := 0; i < 250; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		d.Add(x, 2*x[0]-x[2]+0.1*rng.NormFloat64())
+	}
+	base := FitRegForest(d, RegForestConfig{Trees: 20, MaxDepth: 6, Seed: 11, Workers: 1})
+	for _, w := range workerCounts[1:] {
+		f := FitRegForest(d, RegForestConfig{Trees: 20, MaxDepth: 6, Seed: 11, Workers: w})
+		if !reflect.DeepEqual(base.trees, f.trees) {
+			t.Fatalf("Workers=%d regression forest differs from serial", w)
+		}
+	}
+}
+
+func TestTrainLALBitIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LAL training is seconds-scale")
+	}
+	cfg := LALConfig{Tasks: 6, CandidatesPerState: 3, Seed: 5}
+	cfg.Workers = 1
+	base := TrainLAL(cfg)
+	for _, w := range workerCounts[1:] {
+		cfg.Workers = w
+		l := TrainLAL(cfg)
+		if !reflect.DeepEqual(base.reg.trees, l.reg.trees) {
+			t.Fatalf("Workers=%d LAL regressor differs from serial", w)
+		}
+	}
+}
+
+// TestBestSplitMatchesReference checks the dense-counting split search
+// against the retained map-based reference on many random node samples:
+// same feature, same code, same gain, bit for bit.
+func TestBestSplitMatchesReference(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		d := randomDataset(120, 5, 7, int64(trial))
+		idx := make([]int, d.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		pos := 0
+		for _, i := range idx {
+			if d.Y[i] {
+				pos++
+			}
+		}
+		cfg := TreeConfig{FeatureSample: 3}
+		sc := newTreeScratch(d.Len(), maxCode(d), d.NumFeatures())
+		// Identical RNG streams so both searches shuffle the same feature
+		// subset.
+		f1, c1, g1 := bestSplit(d, idx, cfg, rand.New(rand.NewSource(int64(trial))), pos, sc)
+		f2, c2, g2 := bestSplitReference(d, idx, cfg, rand.New(rand.NewSource(int64(trial))))
+		if f1 != f2 || c1 != c2 || g1 != g2 {
+			t.Fatalf("trial %d: dense split (%d,%d,%v) != reference (%d,%d,%v)",
+				trial, f1, c1, g1, f2, c2, g2)
+		}
+	}
+}
+
+// TestFitTreeMatchesReference checks full-tree equivalence: induced from
+// the same indices and RNG stream, the optimized and reference inductions
+// build structurally identical trees.
+func TestFitTreeMatchesReference(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		d := randomDataset(200, 6, 8, int64(100+trial))
+		rng := rand.New(rand.NewSource(int64(trial)))
+		idx := make([]int, d.Len())
+		for i := range idx {
+			idx[i] = rng.Intn(d.Len())
+		}
+		cfg := TreeConfig{FeatureSample: 3, MinLeaf: 2}
+		t1 := FitTree(d, idx, cfg, rand.New(rand.NewSource(int64(trial))))
+		t2 := fitTreeReference(d, append([]int(nil), idx...), cfg, rand.New(rand.NewSource(int64(trial))))
+		if !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("trial %d: optimized tree differs from reference", trial)
+		}
+	}
+}
+
+func TestProbTrueBatchMatchesScalar(t *testing.T) {
+	d := randomDataset(200, 5, 6, 9)
+	f := FitForest(d, ForestConfig{Trees: 15, Seed: 2, Workers: 1})
+	xs := d.X[:50]
+	out := f.ProbTrueBatch(xs, nil)
+	for i, x := range xs {
+		if want := f.ProbTrue(x); out[i] != want {
+			t.Fatalf("candidate %d: batch %v != scalar %v", i, out[i], want)
+		}
+	}
+	// Buffer reuse must not change results.
+	out2 := f.ProbTrueBatch(xs, out)
+	if &out2[0] != &out[0] {
+		t.Error("batch did not reuse the provided buffer")
+	}
+	for i, x := range xs {
+		if want := f.ProbTrue(x); out2[i] != want {
+			t.Fatalf("reused buffer candidate %d: %v != %v", i, out2[i], want)
+		}
+	}
+}
+
+func TestVoteStatsBatchMatchesScalar(t *testing.T) {
+	d := randomDataset(200, 5, 6, 13)
+	f := FitForest(d, ForestConfig{Trees: 15, Seed: 4, Workers: 1})
+	xs := d.X[:40]
+	means, variances := f.VoteStatsBatch(xs, nil, nil)
+	for i, x := range xs {
+		m, v := f.VoteStats(x)
+		if means[i] != m || variances[i] != v {
+			t.Fatalf("candidate %d: batch (%v,%v) != scalar (%v,%v)",
+				i, means[i], variances[i], m, v)
+		}
+	}
+}
+
+func TestLALScoreBatchMatchesScalar(t *testing.T) {
+	d := randomDataset(200, 5, 6, 17)
+	f := FitForest(d, ForestConfig{Trees: 15, Seed: 6, Workers: 1})
+	l := TrainLAL(LALConfig{Tasks: 3, CandidatesPerState: 2, Seed: 8, Workers: 1})
+	xs := d.X[:40]
+	out := l.ScoreBatch(f, d.Len(), d.PositiveFraction(), xs, nil)
+	for i, x := range xs {
+		if want := l.Score(f, d.Len(), d.PositiveFraction(), x); out[i] != want {
+			t.Fatalf("candidate %d: batch %v != scalar %v", i, out[i], want)
+		}
+	}
+	// A nil LAL scores zero everywhere, matching Score's nil behaviour.
+	var nilLAL *LAL
+	zeros := nilLAL.ScoreBatch(f, d.Len(), 0.5, xs, out)
+	for i := range zeros {
+		if zeros[i] != 0 {
+			t.Fatal("nil LAL must score 0")
+		}
+	}
+}
+
+func TestEncoderCovers(t *testing.T) {
+	metas := []map[string]string{
+		{"source": "a.com", "rel": "acq"},
+		{"source": "b.com", "rel": "roles"},
+	}
+	enc := NewEncoder(metas)
+	cases := []struct {
+		meta map[string]string
+		want bool
+	}{
+		{map[string]string{"source": "a.com"}, true},
+		{map[string]string{"source": "a.com", "rel": "roles"}, true},
+		{map[string]string{}, true},
+		{map[string]string{"source": "c.com"}, false},      // unseen value
+		{map[string]string{"category": "sports"}, false},   // unseen attribute
+		{map[string]string{"rel": "acq", "x": "1"}, false}, // mixed
+	}
+	for i, c := range cases {
+		if got := enc.Covers(c.meta); got != c.want {
+			t.Errorf("case %d: Covers(%v) = %v, want %v", i, c.meta, got, c.want)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package learn
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"qres/internal/obs"
@@ -18,6 +20,12 @@ type ForestConfig struct {
 	MinLeaf int
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds tree-level training parallelism: 0 defaults to one
+	// worker per CPU, 1 forces serial training. The trained ensemble is
+	// bit-identical for every value — each tree consumes its own RNG
+	// stream derived from (Seed, tree index) and lands positionally in
+	// the ensemble, so scheduling never influences the model.
+	Workers int
 	// Obs, when non-nil, receives a forest_fit span per training run.
 	Obs *obs.Obs
 }
@@ -40,7 +48,8 @@ type Forest struct {
 
 // FitForest trains a forest on d: each tree sees a bootstrap sample of the
 // rows and √d-feature subsampling per split. Training is deterministic in
-// cfg.Seed. An empty dataset yields a forest that predicts 0.5 everywhere.
+// cfg.Seed for any cfg.Workers value. An empty dataset yields a forest
+// that predicts 0.5 everywhere.
 func FitForest(d *Dataset, cfg ForestConfig) *Forest {
 	if cfg.Trees <= 0 {
 		cfg.Trees = 100
@@ -51,23 +60,53 @@ func FitForest(d *Dataset, cfg ForestConfig) *Forest {
 		return f
 	}
 	featSample := int(math.Ceil(math.Sqrt(float64(d.NumFeatures()))))
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for t := 0; t < cfg.Trees; t++ {
-		// Bootstrap sample (with replacement, same size as the data).
-		idx := make([]int, d.Len())
+	tcfg := TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, FeatureSample: featSample}
+	n, mc, nf := d.Len(), maxCode(d), d.NumFeatures()
+	f.trees = make([]*Tree, cfg.Trees)
+
+	// fitOne trains tree t from its own deterministic RNG stream into a
+	// worker-owned scratch (bootstrap indices and split-count buffers are
+	// pooled across the worker's trees) and writes it positionally.
+	fitOne := func(sc *treeScratch, t int) {
+		rng := rand.New(rand.NewSource(streamSeed(cfg.Seed, t)))
+		idx := sc.idx[:n]
 		for i := range idx {
-			idx[i] = rng.Intn(d.Len())
+			idx[i] = rng.Intn(n)
 		}
-		tree := FitTree(d, idx, TreeConfig{
-			MaxDepth:      cfg.MaxDepth,
-			MinLeaf:       cfg.MinLeaf,
-			FeatureSample: featSample,
-		}, rng)
-		f.trees = append(f.trees, tree)
+		f.trees[t] = fitNode(d, idx, tcfg, rng, 0, float64(n), sc)
+	}
+
+	workers := EffectiveWorkers(cfg.Workers)
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+	if workers <= 1 {
+		sc := newTreeScratch(n, mc, nf)
+		for t := 0; t < cfg.Trees; t++ {
+			fitOne(sc, t)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := newTreeScratch(n, mc, nf)
+				for {
+					t := int(atomic.AddInt64(&next, 1))
+					if t >= cfg.Trees {
+						return
+					}
+					fitOne(sc, t)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	cfg.Obs.Emit(obs.StageForestFit, -1, start, time.Since(start),
 		obs.Int("trees", cfg.Trees), obs.Int("examples", d.Len()),
-		obs.Int("features", d.NumFeatures()))
+		obs.Int("features", d.NumFeatures()), obs.Int("workers", workers))
 	return f
 }
 
@@ -86,6 +125,36 @@ func (f *Forest) ProbTrue(x []int32) float64 {
 		}
 	}
 	return float64(votes) / float64(len(f.trees))
+}
+
+// ProbTrueBatch estimates P(correct | x) for every vector in xs, writing
+// into out (reused when it has capacity, so steady-state callers allocate
+// nothing per candidate). Trees traverse in the outer loop, so each
+// tree's nodes stay hot across the whole batch. Results equal per-call
+// ProbTrue bit for bit: votes are small integers, exact in float64.
+func (f *Forest) ProbTrueBatch(xs [][]int32, out []float64) []float64 {
+	out = sizedFloats(out, len(xs))
+	if len(f.trees) == 0 {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for _, t := range f.trees {
+		for i, x := range xs {
+			if t.Predict(x) {
+				out[i]++
+			}
+		}
+	}
+	n := float64(len(f.trees))
+	for i := range out {
+		out[i] /= n
+	}
+	return out
 }
 
 // VoteStats returns the mean and variance of the per-tree soft
@@ -108,6 +177,50 @@ func (f *Forest) VoteStats(x []int32) (mean, variance float64) {
 		variance = 0
 	}
 	return mean, variance
+}
+
+// VoteStatsBatch computes VoteStats for every vector in xs, accumulating
+// into the reusable means/variances buffers (grown only when capacity is
+// short). Per-candidate accumulation follows tree order, so the returned
+// floats equal per-call VoteStats exactly.
+func (f *Forest) VoteStatsBatch(xs [][]int32, means, variances []float64) (m, v []float64) {
+	means = sizedFloats(means, len(xs))
+	variances = sizedFloats(variances, len(xs))
+	if len(f.trees) == 0 {
+		for i := range means {
+			means[i], variances[i] = 0.5, 0
+		}
+		return means, variances
+	}
+	for i := range means {
+		means[i], variances[i] = 0, 0
+	}
+	for _, t := range f.trees {
+		for i, x := range xs {
+			p := t.ProbTrue(x)
+			means[i] += p
+			variances[i] += p * p
+		}
+	}
+	n := float64(len(f.trees))
+	for i := range means {
+		mean := means[i] / n
+		va := variances[i]/n - mean*mean
+		if va < 0 {
+			va = 0
+		}
+		means[i], variances[i] = mean, va
+	}
+	return means, variances
+}
+
+// sizedFloats returns buf resliced to n, reallocating only when capacity
+// is insufficient.
+func sizedFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // Predict returns the majority-vote class for x.

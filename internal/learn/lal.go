@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qres/internal/obs"
@@ -35,6 +36,12 @@ type LALConfig struct {
 	CandidatesPerState int
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds task-level parallelism of the offline simulation: 0
+	// defaults to one worker per CPU, 1 forces serial. The trained
+	// regressor is bit-identical for every value — each synthetic task
+	// consumes its own (Seed, task)-derived RNG stream and its samples
+	// merge in task order.
+	Workers int
 	// Obs, when non-nil, receives a lal_train span for the offline
 	// simulation-and-fit pass.
 	Obs *obs.Obs
@@ -56,26 +63,47 @@ const numStateFeatures = 6
 // balance of the training set, and ensemble disagreement with the hard
 // prediction.
 func stateFeatures(f *Forest, trainSize int, posFrac float64, x []int32) []float64 {
+	return stateFeaturesFrom(make([]float64, numStateFeatures), trainSize, posFrac,
+		voteStatsOf(f, x))
+}
+
+// voteStats bundles one candidate's forest statistics.
+type voteStats struct{ mean, variance, prob float64 }
+
+func voteStatsOf(f *Forest, x []int32) voteStats {
 	mean, variance := f.VoteStats(x)
+	return voteStats{mean: mean, variance: variance, prob: f.ProbTrue(x)}
+}
+
+// stateFeaturesFrom fills dst with the learning-state features derived
+// from precomputed vote statistics, so batch scoring reuses one buffer
+// for every candidate.
+func stateFeaturesFrom(dst []float64, trainSize int, posFrac float64, vs voteStats) []float64 {
 	hard := 0.0
-	if f.ProbTrue(x) >= 0.5 {
+	if vs.prob >= 0.5 {
 		hard = 1.0
 	}
-	return []float64{
-		mean,
-		variance,
-		math.Abs(mean - 0.5),
-		math.Log1p(float64(trainSize)),
-		posFrac,
-		math.Abs(mean - hard),
-	}
+	dst[0] = vs.mean
+	dst[1] = vs.variance
+	dst[2] = math.Abs(vs.mean - 0.5)
+	dst[3] = math.Log1p(float64(trainSize))
+	dst[4] = posFrac
+	dst[5] = math.Abs(vs.mean - hard)
+	return dst
 }
+
+// lalLadder is the ladder of training-set sizes within the active-learning
+// regime (small sets, where probe choice matters most).
+var lalLadder = []int{10, 20, 40, 80}
 
 // TrainLAL trains the transfer regressor by Monte-Carlo simulation over
 // synthetic tasks: for random learning states (task, training subset) and
 // random candidates, the true error reduction from acquiring the candidate
 // label is measured on a held-out set, and a regression forest is fit on
-// (state features → error reduction).
+// (state features → error reduction). Tasks simulate in parallel across
+// cfg.Workers, each from its own deterministic RNG stream; per-task
+// samples merge in task order, so the result is identical for any worker
+// count.
 func TrainLAL(cfg LALConfig) *LAL {
 	if cfg.Tasks <= 0 {
 		cfg.Tasks = 30
@@ -84,14 +112,13 @@ func TrainLAL(cfg LALConfig) *LAL {
 		cfg.CandidatesPerState = 6
 	}
 	start := time.Now()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	sample := &RegDataset{}
 
-	for task := 0; task < cfg.Tasks; task++ {
+	perTask := make([]*RegDataset, cfg.Tasks)
+	runTask := func(task int) {
+		rng := rand.New(rand.NewSource(streamSeed(cfg.Seed, task)))
+		local := &RegDataset{}
 		pool, test := syntheticTask(rng)
-		// A ladder of training-set sizes within the active-learning
-		// regime (small sets, where probe choice matters most).
-		for _, n := range []int{10, 20, 40, 80} {
+		for _, n := range lalLadder {
 			if n >= pool.Len() {
 				break
 			}
@@ -100,29 +127,77 @@ func TrainLAL(cfg LALConfig) *LAL {
 			for _, i := range perm[:n] {
 				train.Add(pool.X[i], pool.Y[i])
 			}
-			forestCfg := ForestConfig{Trees: 15, Seed: rng.Int63()}
+			// Inner fits stay serial: the fan-out already happens at task
+			// granularity, and nesting would oversubscribe the workers.
+			forestCfg := ForestConfig{Trees: 15, Seed: rng.Int63(), Workers: 1}
 			f := FitForest(train, forestCfg)
 			baseErr := 1 - f.Accuracy(test)
 			posFrac := train.PositiveFraction()
 
+			// One extended dataset per learning state: the training rows
+			// are copied once and only the appended candidate row is
+			// swapped per candidate, instead of re-copying the full
+			// training set for every candidate.
+			extended := &Dataset{
+				X: make([][]int32, n+1),
+				Y: make([]bool, n+1),
+			}
+			copy(extended.X, train.X)
+			copy(extended.Y, train.Y)
 			for c := 0; c < cfg.CandidatesPerState; c++ {
 				ci := perm[n+rng.Intn(pool.Len()-n)]
 				feats := stateFeatures(f, train.Len(), posFrac, pool.X[ci])
 
-				extended := &Dataset{}
-				extended.X = append(append([][]int32{}, train.X...), pool.X[ci])
-				extended.Y = append(append([]bool{}, train.Y...), pool.Y[ci])
-				f2 := FitForest(extended, ForestConfig{Trees: 15, Seed: forestCfg.Seed})
+				extended.X[n], extended.Y[n] = pool.X[ci], pool.Y[ci]
+				f2 := FitForest(extended, ForestConfig{Trees: 15, Seed: forestCfg.Seed, Workers: 1})
 				gain := baseErr - (1 - f2.Accuracy(test))
-				sample.Add(feats, gain)
+				local.Add(feats, gain)
 			}
 		}
+		perTask[task] = local
 	}
+
+	workers := EffectiveWorkers(cfg.Workers)
+	if workers > cfg.Tasks {
+		workers = cfg.Tasks
+	}
+	if workers <= 1 {
+		for task := 0; task < cfg.Tasks; task++ {
+			runTask(task)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					task := int(atomic.AddInt64(&next, 1))
+					if task >= cfg.Tasks {
+						return
+					}
+					runTask(task)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge: samples concatenate in task order regardless
+	// of completion order.
+	sample := &RegDataset{}
+	for _, local := range perTask {
+		sample.X = append(sample.X, local.X...)
+		sample.Y = append(sample.Y, local.Y...)
+	}
+
 	l := &LAL{reg: FitRegForest(sample, RegForestConfig{
-		Trees: 40, MaxDepth: 8, MinLeaf: 4, Seed: cfg.Seed + 1,
+		Trees: 40, MaxDepth: 8, MinLeaf: 4, Seed: cfg.Seed + 1, Workers: cfg.Workers,
 	})}
 	cfg.Obs.Emit(obs.StageLALTrain, -1, start, time.Since(start),
-		obs.Int("tasks", cfg.Tasks), obs.Int("states", sample.Len()))
+		obs.Int("tasks", cfg.Tasks), obs.Int("states", sample.Len()),
+		obs.Int("workers", workers))
 	return l
 }
 
@@ -182,6 +257,33 @@ func (l *LAL) Score(f *Forest, trainSize int, posFrac float64, x []int32) float6
 		return 0
 	}
 	return v
+}
+
+// ScoreBatch predicts Score for every candidate in xs, writing into out
+// (reused when capacity suffices). The forest statistics come from the
+// batch traversals (VoteStatsBatch/ProbTrueBatch) and the state-feature
+// vector is a single reused buffer, so scoring allocates O(1) per batch
+// instead of O(candidates). Results equal per-call Score bit for bit.
+func (l *LAL) ScoreBatch(f *Forest, trainSize int, posFrac float64, xs [][]int32, out []float64) []float64 {
+	out = sizedFloats(out, len(xs))
+	if l == nil || l.reg == nil {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	means, variances := f.VoteStatsBatch(xs, nil, nil)
+	probs := f.ProbTrueBatch(xs, nil)
+	feats := make([]float64, numStateFeatures)
+	for i := range xs {
+		vs := voteStats{mean: means[i], variance: variances[i], prob: probs[i]}
+		v := l.reg.Predict(stateFeaturesFrom(feats, trainSize, posFrac, vs))
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
 }
 
 var (

@@ -3,6 +3,8 @@ package learn
 import (
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // RegDataset is a sample for regression: rows of numeric features with
@@ -157,6 +159,10 @@ type RegForestConfig struct {
 	MaxDepth int
 	MinLeaf  int
 	Seed     int64
+	// Workers bounds tree-level parallelism (0 = one per CPU, 1 =
+	// serial); the ensemble is bit-identical for any value, exactly as in
+	// ForestConfig.Workers.
+	Workers int
 }
 
 // RegForest is a random forest of regression trees: bootstrap rows,
@@ -165,7 +171,9 @@ type RegForest struct {
 	trees []*regTree
 }
 
-// FitRegForest trains a regression forest on d, deterministic in cfg.Seed.
+// FitRegForest trains a regression forest on d, deterministic in cfg.Seed
+// for any cfg.Workers value: every tree draws from its own seed-derived
+// RNG stream and lands positionally in the ensemble.
 func FitRegForest(d *RegDataset, cfg RegForestConfig) *RegForest {
 	if cfg.Trees <= 0 {
 		cfg.Trees = 50
@@ -175,17 +183,47 @@ func FitRegForest(d *RegDataset, cfg RegForestConfig) *RegForest {
 		return f
 	}
 	featSample := d.NumFeatures()/3 + 1 // the regression-forest convention d/3
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for t := 0; t < cfg.Trees; t++ {
-		idx := make([]int, d.Len())
+	n := d.Len()
+	f.trees = make([]*regTree, cfg.Trees)
+	fitOne := func(idx []int, t int) {
+		rng := rand.New(rand.NewSource(streamSeed(cfg.Seed, t)))
+		idx = idx[:n]
 		for i := range idx {
-			idx[i] = rng.Intn(d.Len())
+			idx[i] = rng.Intn(n)
 		}
-		f.trees = append(f.trees, fitRegTree(d, idx, regTreeConfig{
+		f.trees[t] = fitRegTree(d, idx, regTreeConfig{
 			maxDepth:      cfg.MaxDepth,
 			minLeaf:       cfg.MinLeaf,
 			featureSample: featSample,
-		}, rng, 0))
+		}, rng, 0)
+	}
+	workers := EffectiveWorkers(cfg.Workers)
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+	if workers <= 1 {
+		idx := make([]int, n)
+		for t := 0; t < cfg.Trees; t++ {
+			fitOne(idx, t)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				idx := make([]int, n)
+				for {
+					t := int(atomic.AddInt64(&next, 1))
+					if t >= cfg.Trees {
+						return
+					}
+					fitOne(idx, t)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	return f
 }

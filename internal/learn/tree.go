@@ -2,7 +2,7 @@ package learn
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // TreeConfig controls decision-tree induction.
@@ -41,18 +41,64 @@ type Tree struct {
 	gain float64
 }
 
+// treeScratch holds the buffers one worker reuses across a sequence of
+// tree fits: the bootstrap index slice (partitioned in place during
+// induction), the right-side spill of the stable partition, dense
+// per-code class counts (indexed code+1, so Unknown's -1 lands at 0) and
+// the list of codes observed at the current node.
+type treeScratch struct {
+	idx    []int
+	spill  []int
+	counts []int
+	poss   []int
+	seen   []int32
+	feats  []int
+}
+
+// newTreeScratch sizes a scratch for datasets with n rows, feature codes
+// up to maxCode and nf features.
+func newTreeScratch(n, maxCode, nf int) *treeScratch {
+	return &treeScratch{
+		idx:    make([]int, n),
+		spill:  make([]int, 0, n),
+		counts: make([]int, maxCode+2),
+		poss:   make([]int, maxCode+2),
+		feats:  make([]int, nf),
+	}
+}
+
+// maxCode returns the largest feature code in the dataset (at least
+// Unknown, i.e. -1), the sizing bound for dense per-code count buffers.
+func maxCode(d *Dataset) int {
+	m := int32(Unknown)
+	for _, row := range d.X {
+		for _, c := range row {
+			if c > m {
+				m = c
+			}
+		}
+	}
+	return int(m)
+}
+
 // FitTree induces a tree from the dataset rows at the given indices.
 // rng drives feature subsampling; it may be nil when cfg.FeatureSample is
-// 0. The dataset must be non-empty and valid.
+// 0. The dataset must be non-empty and valid. The indices slice is not
+// modified.
 func FitTree(d *Dataset, indices []int, cfg TreeConfig, rng *rand.Rand) *Tree {
 	if len(indices) == 0 {
 		return &Tree{leaf: true, prob: 0.5}
 	}
-	total := float64(len(indices))
-	return fitNode(d, indices, cfg, rng, 0, total)
+	sc := newTreeScratch(len(indices), maxCode(d), d.NumFeatures())
+	idx := sc.idx[:len(indices)]
+	copy(idx, indices)
+	return fitNode(d, idx, cfg, rng, 0, float64(len(indices)), sc)
 }
 
-func fitNode(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int, total float64) *Tree {
+// fitNode recursively induces the subtree over idx. idx is partitioned in
+// place (stably, left block then right block), so the caller's slice must
+// be owned by this fit.
+func fitNode(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int, total float64, sc *treeScratch) *Tree {
 	pos := 0
 	for _, i := range idx {
 		if d.Y[i] {
@@ -66,19 +112,27 @@ func fitNode(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int, t
 		return &Tree{leaf: true, prob: prob}
 	}
 
-	feature, code, gain := bestSplit(d, idx, cfg, rng)
+	feature, code, gain := bestSplit(d, idx, cfg, rng, pos, sc)
 	if feature < 0 {
 		return &Tree{leaf: true, prob: prob}
 	}
 
-	var left, right []int
+	// Stable in-place partition: matching rows compact to the front in
+	// their original order, the rest spill and are copied back behind
+	// them, so the recursion sees exactly the left/right sequences an
+	// append-based partition would build — without the per-node slices.
+	spill := sc.spill[:0]
+	k := 0
 	for _, i := range idx {
 		if d.X[i][feature] == code {
-			left = append(left, i)
+			idx[k] = i
+			k++
 		} else {
-			right = append(right, i)
+			spill = append(spill, i)
 		}
 	}
+	copy(idx[k:], spill)
+	left, right := idx[:k], idx[k:]
 	if len(left) < cfg.minLeaf() || len(right) < cfg.minLeaf() {
 		return &Tree{leaf: true, prob: prob}
 	}
@@ -86,8 +140,8 @@ func fitNode(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int, t
 		feature: feature,
 		code:    code,
 		gain:    gain * float64(len(idx)) / total,
-		left:    fitNode(d, left, cfg, rng, depth+1, total),
-		right:   fitNode(d, right, cfg, rng, depth+1, total),
+		left:    fitNode(d, left, cfg, rng, depth+1, total, sc),
+		right:   fitNode(d, right, cfg, rng, depth+1, total, sc),
 	}
 }
 
@@ -104,9 +158,16 @@ func gini(pos, n int) float64 {
 // Gini impurity decrease over the node sample. With FeatureSample > 0 it
 // examines a random feature subset (sampling without replacement), the
 // random-forest decorrelation mechanism.
-func bestSplit(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (feature int, code int32, gain float64) {
+//
+// Counting uses the scratch's dense per-code arrays instead of a per-node
+// map, and candidate codes are evaluated in ascending order (tied gains
+// would otherwise pick a random winner, making training irreproducible
+// under a fixed seed). The selected split is identical to the one the
+// map-based reference implementation finds — see FitForestReference and
+// the equivalence tests.
+func bestSplit(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, posTotal int, sc *treeScratch) (feature int, code int32, gain float64) {
 	nf := d.NumFeatures()
-	features := make([]int, nf)
+	features := sc.feats[:nf]
 	for i := range features {
 		features[i] = i
 	}
@@ -115,52 +176,39 @@ func bestSplit(d *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (feature i
 		features = features[:cfg.FeatureSample]
 	}
 
-	posTotal := 0
-	for _, i := range idx {
-		if d.Y[i] {
-			posTotal++
-		}
-	}
 	parent := gini(posTotal, len(idx))
 
 	feature, code, gain = -1, 0, 0
 	for _, f := range features {
-		// Count (n, pos) per observed code at this node.
-		type counts struct{ n, pos int }
-		byCode := make(map[int32]*counts)
+		// Count (n, pos) per observed code at this node, tracking which
+		// codes appear so only they are visited and reset.
+		seen := sc.seen[:0]
 		for _, i := range idx {
-			c := d.X[i][f]
-			ct := byCode[c]
-			if ct == nil {
-				ct = &counts{}
-				byCode[c] = ct
+			c := d.X[i][f] + 1
+			if sc.counts[c] == 0 {
+				seen = append(seen, c)
 			}
-			ct.n++
+			sc.counts[c]++
 			if d.Y[i] {
-				ct.pos++
+				sc.poss[c]++
 			}
 		}
-		if len(byCode) < 2 {
-			continue // constant feature at this node
-		}
-		// Iterate codes in ascending order: map order would let tied splits
-		// pick a random winner, making training irreproducible under a
-		// fixed seed.
-		codes := make([]int32, 0, len(byCode))
-		for c := range byCode {
-			codes = append(codes, c)
-		}
-		sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
-		for _, c := range codes {
-			ct := byCode[c]
-			nl, pl := ct.n, ct.pos
-			nr, pr := len(idx)-nl, posTotal-pl
-			w := parent -
-				(float64(nl)*gini(pl, nl)+float64(nr)*gini(pr, nr))/float64(len(idx))
-			if w > gain {
-				feature, code, gain = f, c, w
+		if len(seen) >= 2 {
+			slices.Sort(seen)
+			for _, c := range seen {
+				nl, pl := sc.counts[c], sc.poss[c]
+				nr, pr := len(idx)-nl, posTotal-pl
+				w := parent -
+					(float64(nl)*gini(pl, nl)+float64(nr)*gini(pr, nr))/float64(len(idx))
+				if w > gain {
+					feature, code, gain = f, c-1, w
+				}
 			}
 		}
+		for _, c := range seen {
+			sc.counts[c], sc.poss[c] = 0, 0
+		}
+		sc.seen = seen[:0]
 	}
 	return feature, code, gain
 }

@@ -170,8 +170,12 @@ func (inc *incState) candidateProbs(candidates []boolexpr.Var) (probs map[boolex
 	}
 	inc.probs = make(map[boolexpr.Var]float64, len(candidates))
 	vals := make([]float64, len(candidates))
-	inc.parallelFill(len(candidates), func(i int) {
-		vals[i] = inc.learner.Prob(candidates[i])
+	// Chunked batch prediction: each worker serves a contiguous candidate
+	// range through ProbBatch (one model snapshot, batched forest
+	// traversal), writing positionally into vals. The floats equal per-call
+	// Prob exactly, for any worker count.
+	inc.parallelChunks(len(candidates), func(lo, hi int) {
+		inc.learner.ProbBatch(candidates[lo:hi], vals[lo:hi])
 	})
 	for i, v := range candidates {
 		inc.probs[v] = vals[i]
@@ -399,6 +403,37 @@ func (inc *incState) parallelFill(n int, fn func(i int)) {
 				fn(i)
 			}
 		}()
+	}
+	wg.Wait()
+}
+
+// parallelChunks invokes fn(lo, hi) over a partition of [0, n) into one
+// contiguous chunk per worker, serially below the parallelism threshold.
+// fn must write only into its own [lo, hi) range of any shared output, so
+// the fill is deterministic for any worker count.
+func (inc *incState) parallelChunks(n int, fn func(lo, hi int)) {
+	workers := inc.workers
+	if workers > n {
+		workers = n
+	}
+	if n < rescoreParallelMin || workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
 	}
 	wg.Wait()
 }

@@ -110,6 +110,19 @@ func (r *Repository) Records() []ProbeRecord {
 	return append([]ProbeRecord(nil), r.records...)
 }
 
+// RecordsSince returns a copy of the records appended after the first n.
+// Warm-started learners track an encoding watermark and fetch only the
+// delta on retrain, instead of re-reading (and re-encoding) the whole
+// repository. The Meta maps are shared and must not be modified.
+func (r *Repository) RecordsSince(n int) []ProbeRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n >= len(r.records) {
+		return nil
+	}
+	return append([]ProbeRecord(nil), r.records[n:]...)
+}
+
 // Metas returns the metadata of all records, the input for fitting a
 // feature encoder. The slice is freshly allocated; the maps are shared
 // and must not be modified.

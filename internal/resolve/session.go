@@ -93,6 +93,13 @@ type Config struct {
 	// RescoreWorkers bounds the parallelism of the incremental rescore
 	// (default GOMAXPROCS). Results are deterministic for any value.
 	RescoreWorkers int
+	// ForestWorkers bounds forest-training parallelism in the Learner
+	// (0 = one worker per CPU, 1 = serial). Trained models — and hence
+	// probe choices — are bit-identical for any value.
+	ForestWorkers int
+	// FullRetrain disables the Learner's warm-started retrain path (see
+	// LearnerConfig.FullRetrain); models are identical either way.
+	FullRetrain bool
 
 	// DisableSplitting turns off expression splitting entirely; sessions
 	// whose utility needs CNF then fail on oversized expressions.
@@ -260,14 +267,15 @@ type Session struct {
 	strategy Strategy
 	cfg      Config
 
-	work  *workset
-	inc   *incState           // incremental scoring caches; nil when disabled
-	val   *boolexpr.Valuation // accumulated answers for provenance variables
-	rng   *rand.Rand
-	round int
-	stats Stats
-	obs   *obs.Obs
-	err   error
+	work   *workset
+	inc    *incState           // incremental scoring caches; nil when disabled
+	val    *boolexpr.Valuation // accumulated answers for provenance variables
+	lalBuf []float64           // reused uncertainty-score buffer, one per round
+	rng    *rand.Rand
+	round  int
+	stats  Stats
+	obs    *obs.Obs
+	err    error
 
 	// repoSeen is the repository length whose records this session has
 	// already reconciled against its candidates. The repository is
@@ -323,14 +331,16 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 	}
 
 	s.learner = NewLearner(db, repo, LearnerConfig{
-		Mode:       cfg.Learning,
-		Model:      cfg.Model,
-		Trees:      cfg.Trees,
-		MinTrain:   cfg.MinTrain,
-		LAL:        cfg.LAL,
-		Seed:       cfg.Seed,
-		KnownProbs: cfg.KnownProbs,
-		Obs:        s.obs,
+		Mode:          cfg.Learning,
+		Model:         cfg.Model,
+		Trees:         cfg.Trees,
+		MinTrain:      cfg.MinTrain,
+		ForestWorkers: cfg.ForestWorkers,
+		FullRetrain:   cfg.FullRetrain,
+		LAL:           cfg.LAL,
+		Seed:          cfg.Seed,
+		KnownProbs:    cfg.KnownProbs,
+		Obs:           s.obs,
 	})
 
 	switch cfg.Baseline {

@@ -74,11 +74,10 @@ type lalOnlyStrategy struct{}
 func (lalOnlyStrategy) Name() string   { return "LAL only" }
 func (lalOnlyStrategy) NeedsCNF() bool { return false }
 func (lalOnlyStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
-	scores := make([]float64, len(candidates))
+	var scores []float64
 	s.component(obs.StageLAL, &s.stats.LAL, func() {
-		for i, v := range candidates {
-			scores[i] = s.learner.Uncertainty(v)
-		}
+		s.lalBuf = s.learner.UncertaintyBatch(candidates, s.lalBuf)
+		scores = s.lalBuf
 	}, obs.Int("candidates", len(candidates)))
 	var best boolexpr.Var
 	s.component(obs.StageSelector, &s.stats.Selector, func() {
@@ -158,13 +157,15 @@ func (u utilityStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.V
 		s.obs.Count("score_cache_misses", int64(len(candidates)))
 	}, obs.Str("utility", u.util.Name()))
 
-	// Sub-step 4.1b: uncertainty reduction (LAL), timed separately.
-	uncertainty := make(map[boolexpr.Var]float64, len(candidates))
+	// Sub-step 4.1b: uncertainty reduction (LAL), timed separately. The
+	// batch call reuses the session's score buffer across rounds and
+	// snapshots the repository state once per round; outside online mode
+	// the slice stays nil and uncertainty is 0 for every candidate.
+	var uncertainty []float64
 	if s.learner.Mode() == LearnOnline {
 		s.component(obs.StageLAL, &s.stats.LAL, func() {
-			for _, v := range candidates {
-				uncertainty[v] = s.learner.Uncertainty(v)
-			}
+			s.lalBuf = s.learner.UncertaintyBatch(candidates, s.lalBuf)
+			uncertainty = s.lalBuf
 		})
 	}
 
@@ -176,8 +177,12 @@ func (u utilityStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.V
 	s.component(obs.StageSelector, &s.stats.Selector, func() {
 		bestScore := 0.0
 		first := true
-		for _, v := range candidates {
-			f := u.combine.Eval(score(v), uncertainty[v])
+		for i, v := range candidates {
+			unc := 0.0
+			if uncertainty != nil {
+				unc = uncertainty[i]
+			}
+			f := u.combine.Eval(score(v), unc)
 			if s.cfg.CostAware {
 				f /= s.cost(v)
 			}

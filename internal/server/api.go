@@ -24,6 +24,10 @@ type CreateSessionRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Trees overrides the forest size (default 100).
 	Trees int `json:"trees,omitempty"`
+	// ForestWorkers bounds forest-training parallelism (0 = one worker
+	// per CPU, 1 = serial). Trained models are bit-identical for any
+	// value, so this is purely a latency/throughput knob.
+	ForestWorkers int `json:"forest_workers,omitempty"`
 }
 
 // SessionInfo describes one live session.

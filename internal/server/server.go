@@ -407,7 +407,7 @@ func (s *Server) tupleValues(ref uncertain.TupleRef) []string {
 // sessionConfig maps API names onto a resolve.Config (the same taxonomy
 // the public qres options use).
 func sessionConfig(req CreateSessionRequest) (resolve.Config, error) {
-	cfg := resolve.Config{Seed: req.Seed, Trees: req.Trees}
+	cfg := resolve.Config{Seed: req.Seed, Trees: req.Trees, ForestWorkers: req.ForestWorkers}
 	switch strings.ToLower(req.Strategy) {
 	case "", "general":
 		cfg.Utility = resolve.General{}

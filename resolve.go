@@ -106,6 +106,14 @@ func WithTrees(n int) Option {
 	return func(o *options) { o.cfg.Trees = n }
 }
 
+// WithForestWorkers bounds forest-training parallelism in the Learner
+// (0 = one worker per CPU, 1 = serial). Trained models — and hence probe
+// sequences — are bit-identical for any value, so the knob trades only
+// training latency, never results.
+func WithForestWorkers(n int) Option {
+	return func(o *options) { o.cfg.ForestWorkers = n }
+}
+
 // WithSeed fixes the random seed, making the probe sequence deterministic.
 func WithSeed(seed int64) Option {
 	return func(o *options) { o.cfg.Seed = seed }
