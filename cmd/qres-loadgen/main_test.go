@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunHarnessSmoke runs a short in-process open-loop window over the
+// paper workset and checks the report carries the fields CI asserts on.
+func TestRunHarnessSmoke(t *testing.T) {
+	rep, err := runHarness(harnessConfig{
+		Data:          "paper",
+		Rate:          20,
+		Duration:      1500 * time.Millisecond,
+		Drain:         30 * time.Second,
+		AnswerLatency: time.Millisecond,
+		Strategy:      "general",
+		Trees:         10,
+		MaxSessions:   64,
+		Scrape:        200 * time.Millisecond,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProbeSamples == 0 {
+		t.Fatal("no probe latencies sampled")
+	}
+	if rep.SessionsCreated == 0 || rep.Answers == 0 {
+		t.Fatalf("no load driven: %+v", rep)
+	}
+	if rep.ClientErrors != 0 {
+		t.Errorf("client errors: %d", rep.ClientErrors)
+	}
+	if rep.P99ProbeMS < rep.P50ProbeMS || rep.P99ProbeMS > rep.MaxProbeMS {
+		t.Errorf("p99 %.3f outside [p50 %.3f, max %.3f]", rep.P99ProbeMS, rep.P50ProbeMS, rep.MaxProbeMS)
+	}
+	// The scraper must have captured server-side series: the probe-route
+	// p99 comes only from /metrics.
+	if rep.ServerP99ProbeMS <= 0 {
+		t.Errorf("no server-side probe p99 scraped: %+v", rep)
+	}
+	sum := rep.Summary()
+	for _, want := range []string{"p50=", "p99=", "retrain_stalls="} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestAppendRunPinsControl checks the bench-control idiom: the first run
+// is pinned as the baseline control, later runs only append.
+func TestAppendRunPinsControl(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results", "BENCH_serve.json")
+	first := &report{Date: "2026-01-01", Workload: "paper", P99ProbeMS: 1.5}
+	second := &report{Date: "2026-01-02", Workload: "paper", P99ProbeMS: 2.5}
+
+	if err := appendRun(path, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendRun(path, second); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Baseline.Control.Date != "2026-01-01" || bf.Baseline.PinnedDate != "2026-01-01" {
+		t.Errorf("control not pinned to first run: %+v", bf.Baseline)
+	}
+	if bf.Baseline.Note == "" || bf.Baseline.Target == "" {
+		t.Error("control header missing note/target")
+	}
+	if len(bf.Runs) != 2 || bf.Runs[1].P99ProbeMS != 2.5 {
+		t.Errorf("runs not appended in order: %+v", bf.Runs)
+	}
+
+	// A corrupt file is refused, not overwritten.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendRun(path, first); err == nil {
+		t.Error("appendRun overwrote an unparseable results file")
+	}
+}
+
+// TestWorkloadQueries covers the per-dataset mixes and the override.
+func TestWorkloadQueries(t *testing.T) {
+	names, sqls, err := workloadQueries(harnessConfig{Data: "paper"})
+	if err != nil || len(names) != 1 || len(sqls) != 1 {
+		t.Fatalf("paper mix: %v %v %v", names, sqls, err)
+	}
+	names, _, err = workloadQueries(harnessConfig{Data: "nell", Queries: []string{"MS1"}})
+	if err != nil || len(names) != 1 || names[0] != "MS1" {
+		t.Fatalf("nell override: %v %v", names, err)
+	}
+	if _, _, err := workloadQueries(harnessConfig{Data: "tpch", Queries: []string{"NOPE"}}); err == nil {
+		t.Error("unknown query name accepted")
+	}
+	if _, _, err := workloadQueries(harnessConfig{Data: "bogus"}); err == nil {
+		t.Error("unknown workset accepted")
+	}
+}

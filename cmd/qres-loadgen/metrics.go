@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+// scrapedMetrics is a minimal view over one Prometheus text exposition:
+// enough to sum a counter family across its label sets and to look up a
+// single labeled series. It deliberately does not parse label values
+// beyond substring matching — the harness queries a fixed schema it
+// controls, so a full parser would be dead weight.
+type scrapedMetrics struct {
+	// lines holds every sample line: "name{labels} value" or "name value".
+	lines []string
+}
+
+// parseExposition splits a text exposition into sample lines.
+func parseExposition(text string) *scrapedMetrics {
+	var m scrapedMetrics
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m.lines = append(m.lines, line)
+	}
+	return &m
+}
+
+// sampleValue extracts the float value of one sample line.
+func sampleValue(line string) (float64, bool) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(line[i+1:], 64)
+	return v, err == nil
+}
+
+// sum totals every series of the named metric across its label sets.
+func (m *scrapedMetrics) sum(name string) float64 {
+	total := 0.0
+	for _, line := range m.lines {
+		if rest, ok := strings.CutPrefix(line, name); ok &&
+			(strings.HasPrefix(rest, "{") || strings.HasPrefix(rest, " ")) {
+			if v, ok := sampleValue(line); ok {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+// value returns the first series of the named metric whose label block
+// contains every given `key="value"` fragment (0 when absent).
+func (m *scrapedMetrics) value(name string, labelFragments ...string) float64 {
+	for _, line := range m.lines {
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok || !strings.HasPrefix(rest, "{") {
+			continue
+		}
+		match := true
+		for _, frag := range labelFragments {
+			if !strings.Contains(rest, frag) {
+				match = false
+				break
+			}
+		}
+		if match {
+			if v, ok := sampleValue(line); ok {
+				return v
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// results/BENCH_serve.json follows the benchmark-control idiom: the file
+// header pins a control run (the first run ever appended, annotated with
+// its environment), and every later run is appended to "runs". A
+// regression is then unambiguous — compare a fresh run's p99 against the
+// pinned control instead of against whatever happened to run last.
+
+// benchControl is the pinned header of the results file.
+type benchControl struct {
+	// Note explains the control idiom to a reader of the raw file.
+	Note string `json:"note"`
+	// PinnedDate is when the control run was captured.
+	PinnedDate string `json:"pinned_date"`
+	// Target documents what p99 regressions are judged against.
+	Target string `json:"target"`
+	// Control is the full pinned run.
+	Control report `json:"control"`
+}
+
+// benchFile is the serialized shape of results/BENCH_serve.json.
+type benchFile struct {
+	Baseline benchControl `json:"baseline"`
+	Runs     []report     `json:"runs"`
+}
+
+// appendRun appends rep to the results file, creating it — with rep
+// pinned as the control — when absent.
+func appendRun(path string, rep *report) error {
+	var bf benchFile
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return fmt.Errorf("parse %s (refusing to overwrite): %w", path, err)
+		}
+	case os.IsNotExist(err):
+		bf.Baseline = benchControl{
+			Note: "Benchmark control: the first recorded run is pinned here; judge later " +
+				"runs against it, not against each other. Re-pin deliberately (edit this " +
+				"header) when the serving hardware or workload definition changes.",
+			PinnedDate: rep.Date,
+			Target: "p99 probe latency within 3x of control at equal rate and workload; " +
+				"zero retrain stalls at the control's answer latency",
+			Control: *rep,
+		}
+	default:
+		return err
+	}
+	bf.Runs = append(bf.Runs, *rep)
+	out, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -4,6 +4,16 @@
 // in-flight requests, snapshots the shared Known Probes Repository and
 // exits. See the README's "Serving mode" section for the endpoints and a
 // walkthrough.
+//
+// Serving-mode observability (README "Serving-mode observability"):
+//
+//	-trace spans.jsonl     request-scoped pipeline span trace (JSONL)
+//	-slow-log slow.jsonl   structured log of requests over -slow-threshold
+//	-debug-addr :6060      net/http/pprof on a separate listener
+//
+// Every request carries an X-Request-Id (honored when the client sends
+// one, generated otherwise) that is echoed in the response and stamped on
+// every pipeline span the request triggers.
 package main
 
 import (
@@ -14,12 +24,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"qres/internal/datagen"
+	"qres/internal/obs"
 	"qres/internal/resolve"
 	"qres/internal/server"
 	"qres/internal/testdb"
@@ -29,52 +41,142 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
-		data        = flag.String("data", "paper", "dataset to load: paper | tpch")
+		data        = flag.String("data", "paper", "dataset to load: paper | tpch | nell")
 		sf          = flag.Float64("sf", 0.002, "TPC-H scale factor (with -data tpch)")
-		seed        = flag.Int64("seed", 1, "generation seed (with -data tpch)")
+		athletes    = flag.Int("athletes", 220, "NELL athlete count (with -data nell)")
+		seed        = flag.Int64("seed", 1, "generation seed (with -data tpch or nell)")
 		storeDir    = flag.String("store", "", "probes store directory (empty: in-memory only)")
 		maxSessions = flag.Int("max-sessions", 64, "maximum concurrently live sessions")
 		ttl         = flag.Duration("ttl", 30*time.Minute, "idle session time-to-live")
+		tracePath   = flag.String("trace", "", "append pipeline span trace to this JSONL file")
+		slowPath    = flag.String("slow-log", "", "append slow-request log to this JSONL file")
+		slowAfter   = flag.Duration("slow-threshold", 500*time.Millisecond, "slow-request latency threshold")
+		stallAfter  = flag.Duration("retrain-stall", 100*time.Millisecond, "answer-path retrain stall threshold (<0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *data, *sf, *seed, *storeDir, *maxSessions, *ttl); err != nil {
+	opts := serveOptions{
+		addr: *addr, data: *data, sf: *sf, athletes: *athletes, seed: *seed,
+		storeDir: *storeDir, maxSessions: *maxSessions, ttl: *ttl,
+		tracePath: *tracePath, slowPath: *slowPath,
+		slowAfter: *slowAfter, stallAfter: *stallAfter, debugAddr: *debugAddr,
+	}
+	if err := run(opts); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, data string, sf float64, seed int64, storeDir string, maxSessions int, ttl time.Duration) error {
-	var udb *uncertain.DB
+// serveOptions carries the parsed flags into run.
+type serveOptions struct {
+	addr, data            string
+	sf                    float64
+	athletes              int
+	seed                  int64
+	storeDir              string
+	maxSessions           int
+	ttl                   time.Duration
+	tracePath, slowPath   string
+	slowAfter, stallAfter time.Duration
+	debugAddr             string
+}
+
+// loadDB builds the uncertain database the service hosts.
+func loadDB(data string, sf float64, athletes int, seed int64) (*uncertain.DB, error) {
 	switch data {
 	case "paper":
-		udb = testdb.PaperUncertainDB()
+		return testdb.PaperUncertainDB(), nil
 	case "tpch":
-		udb = datagen.TPCH(datagen.TPCHConfig{SF: sf, Seed: seed})
+		return datagen.TPCH(datagen.TPCHConfig{SF: sf, Seed: seed}), nil
+	case "nell":
+		return datagen.NELL(datagen.NELLConfig{Athletes: athletes, Seed: seed}), nil
 	default:
-		return fmt.Errorf("unknown dataset %q (want paper or tpch)", data)
+		return nil, fmt.Errorf("unknown dataset %q (want paper, tpch or nell)", data)
+	}
+}
+
+// openSink opens path for appending as a JSONL sink whose encode failures
+// feed the named drop counter, making trace loss visible on /metrics.
+func openSink(path string, reg *obs.Registry, dropCounter string) (*obs.JSONL, *os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := obs.NewJSONL(f)
+	sink.CountDrops(reg.Counter(dropCounter))
+	return sink, f, nil
+}
+
+func run(o serveOptions) error {
+	udb, err := loadDB(o.data, o.sf, o.athletes, o.seed)
+	if err != nil {
+		return err
 	}
 
-	cfg := server.Config{DB: udb, MaxSessions: maxSessions, SessionTTL: ttl}
-	if storeDir != "" {
-		store, repo, err := resolve.OpenStore(storeDir, udb.Registry().Name, udb.Registry().Lookup)
+	reg := obs.NewRegistry()
+	cfg := server.Config{
+		DB:                    udb,
+		MaxSessions:           o.maxSessions,
+		SessionTTL:            o.ttl,
+		Registry:              reg,
+		SlowRequestThreshold:  o.slowAfter,
+		RetrainStallThreshold: o.stallAfter,
+	}
+	if o.tracePath != "" {
+		sink, f, err := openSink(o.tracePath, reg, "trace_dropped_total")
+		if err != nil {
+			return fmt.Errorf("open trace: %w", err)
+		}
+		defer f.Close()
+		cfg.Trace = sink
+	}
+	if o.slowPath != "" {
+		sink, f, err := openSink(o.slowPath, reg, "slow_log_dropped_total")
+		if err != nil {
+			return fmt.Errorf("open slow log: %w", err)
+		}
+		defer f.Close()
+		cfg.SlowLog = sink
+	}
+	if o.storeDir != "" {
+		store, repo, err := resolve.OpenStore(o.storeDir, udb.Registry().Name, udb.Registry().Lookup)
 		if err != nil {
 			return fmt.Errorf("open store: %w", err)
 		}
 		log.Printf("store %s: recovered %d known probes (%d from WAL)",
-			storeDir, repo.Len(), store.WALRecords())
+			o.storeDir, repo.Len(), store.WALRecords())
 		cfg.Store = store
 		cfg.Repo = repo
+	}
+
+	if o.debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
 	}
 
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %s (%d tuples) on http://%s", data, udb.NumVars(), ln.Addr())
+	log.Printf("serving %s (%d tuples) on http://%s", o.data, udb.NumVars(), ln.Addr())
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

@@ -4,15 +4,21 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // JSONL is a Sink writing one JSON object per event, newline-delimited.
 // It serializes writes with a mutex, so a single JSONL may receive events
-// from concurrent sessions (e.g. parallel resolution).
+// from concurrent sessions (e.g. parallel resolution). Encode failures
+// (closed file, full disk) never fail the resolution being observed, but
+// they are counted — see Dropped and CountDrops — so lost trace data is
+// visible instead of silent.
 type JSONL struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu      sync.Mutex
+	enc     *json.Encoder
+	dropped atomic.Int64
+	dropCtr *Counter // optional registry counter mirroring dropped
 }
 
 // NewJSONL wraps w as a JSONL trace sink.
@@ -20,15 +26,27 @@ func NewJSONL(w io.Writer) *JSONL {
 	return &JSONL{enc: json.NewEncoder(w)}
 }
 
+// CountDrops mirrors every dropped event into c (typically the registry's
+// "trace_dropped_total" counter), so a full disk shows up on /metrics.
+// Call it before emitting begins; it is not synchronized with Emit.
+func (j *JSONL) CountDrops(c *Counter) { j.dropCtr = c }
+
+// Dropped returns how many events failed to encode and were lost.
+func (j *JSONL) Dropped() int64 { return j.dropped.Load() }
+
 // jsonEvent is the wire form of an Event. Attrs collapse to an object, so
 // lines stay greppable: {"stage":"probe","round":3,"us":41,"attrs":{...}}.
 type jsonEvent struct {
-	Time    string         `json:"t"`
-	Stage   string         `json:"stage"`
-	Session string         `json:"session,omitempty"`
-	Round   int            `json:"round"`
-	Micros  int64          `json:"us"`
-	Attrs   map[string]any `json:"attrs,omitempty"`
+	Time    string `json:"t"`
+	Stage   string `json:"stage"`
+	Session string `json:"session,omitempty"`
+	// SID and Req carry the hosted-session and originating-request IDs in
+	// serving mode.
+	SID    string         `json:"sid,omitempty"`
+	Req    string         `json:"req,omitempty"`
+	Round  int            `json:"round"`
+	Micros int64          `json:"us"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
 }
 
 // Emit implements Sink.
@@ -44,15 +62,23 @@ func (j *JSONL) Emit(ev Event) {
 		Time:    ev.Time.UTC().Format(time.RFC3339Nano),
 		Stage:   string(ev.Stage),
 		Session: ev.Session,
+		SID:     ev.SessionID,
+		Req:     ev.Request,
 		Round:   ev.Round,
 		Micros:  ev.Dur.Microseconds(),
 		Attrs:   attrs,
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	// Encode errors (closed file, full disk) are swallowed: tracing must
-	// never fail the resolution it observes.
-	_ = j.enc.Encode(rec)
+	err := j.enc.Encode(rec)
+	j.mu.Unlock()
+	if err != nil {
+		// Tracing must never fail the resolution it observes; count the
+		// loss instead of surfacing the error.
+		j.dropped.Add(1)
+		if j.dropCtr != nil {
+			j.dropCtr.Inc()
+		}
+	}
 }
 
 // Collector is an in-memory Sink for tests and programmatic consumers.

@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"sync/atomic"
 	"time"
 )
 
@@ -58,6 +59,11 @@ const (
 	// StageSimplify covers substituting a probe answer into the working
 	// expressions and re-simplifying.
 	StageSimplify Stage = "simplify"
+	// StageHTTPRequest is one served HTTP request. The resolution service
+	// emits it to the slow-request log when a request exceeds the
+	// configured latency threshold; its duration is the request's
+	// wall-clock service time.
+	StageHTTPRequest Stage = "http_request"
 )
 
 // Attr is one key/value annotation on a span event.
@@ -93,8 +99,58 @@ type Event struct {
 	Round int
 	// Dur is the span duration.
 	Dur time.Duration
+	// SessionID is the server-assigned session identifier, when the span
+	// was emitted on behalf of a hosted session (empty for library use).
+	SessionID string
+	// Request is the ID of the HTTP request that initiated the work this
+	// span belongs to (empty outside serving mode). Together with
+	// SessionID it lets a trace consumer reassemble where one slow request
+	// spent its time across pipeline stages.
+	Request string
 	// Attrs are stage-specific annotations (counts, answers, plan shape).
 	Attrs []Attr
+}
+
+// Scope carries request-scoped identity for spans emitted on behalf of a
+// hosted session: the stable session ID plus the ID of the HTTP request
+// currently driving the session. The serving layer calls SetRequest at the
+// start of each request (under the session's lock, so pipeline work and
+// the scope's request ID cannot race), and every span emitted through a
+// handle derived with WithScope is stamped with both IDs.
+type Scope struct {
+	sessionID string
+	request   atomic.Value // string: the most recent driving request ID
+}
+
+// NewScope builds a scope for one hosted session.
+func NewScope(sessionID string) *Scope {
+	sc := &Scope{sessionID: sessionID}
+	sc.request.Store("")
+	return sc
+}
+
+// SessionID returns the scope's session identifier.
+func (sc *Scope) SessionID() string {
+	if sc == nil {
+		return ""
+	}
+	return sc.sessionID
+}
+
+// SetRequest records the request currently driving the session.
+func (sc *Scope) SetRequest(id string) {
+	if sc != nil {
+		sc.request.Store(id)
+	}
+}
+
+// Request returns the ID of the request currently driving the session.
+func (sc *Scope) Request() string {
+	if sc == nil {
+		return ""
+	}
+	id, _ := sc.request.Load().(string)
+	return id
 }
 
 // Sink receives completed span events. Implementations must be safe for
@@ -121,6 +177,7 @@ type Obs struct {
 	sink    Sink
 	reg     *Registry
 	session string
+	scope   *Scope
 }
 
 // New builds a handle over sink and reg, either of which may be nil. When
@@ -153,12 +210,30 @@ func (o *Obs) Registry() *Registry {
 }
 
 // WithSession derives a handle that emits under a different session label
-// but shares the sink and registry. Deriving from a nil handle stays nil.
+// but shares the sink, registry and scope. Deriving from a nil handle
+// stays nil.
 func (o *Obs) WithSession(session string) *Obs {
 	if o == nil || session == "" || session == o.session {
 		return o
 	}
-	return &Obs{sink: o.sink, reg: o.reg, session: session}
+	return &Obs{sink: o.sink, reg: o.reg, session: session, scope: o.scope}
+}
+
+// WithScope derives a handle whose spans are stamped with the scope's
+// session and request IDs. Deriving from a nil handle stays nil.
+func (o *Obs) WithScope(sc *Scope) *Obs {
+	if o == nil || sc == nil {
+		return o
+	}
+	return &Obs{sink: o.sink, reg: o.reg, session: o.session, scope: sc}
+}
+
+// Scope returns the handle's request scope, or nil.
+func (o *Obs) Scope() *Scope {
+	if o == nil {
+		return nil
+	}
+	return o.scope
 }
 
 // Emit records one completed span: the event goes to the sink, and the
@@ -174,12 +249,14 @@ func (o *Obs) Emit(stage Stage, round int, start time.Time, d time.Duration, att
 	}
 	if o.sink != nil {
 		o.sink.Emit(Event{
-			Time:    start,
-			Stage:   stage,
-			Session: o.session,
-			Round:   round,
-			Dur:     d,
-			Attrs:   attrs,
+			Time:      start,
+			Stage:     stage,
+			Session:   o.session,
+			Round:     round,
+			Dur:       d,
+			SessionID: o.scope.SessionID(),
+			Request:   o.scope.Request(),
+			Attrs:     attrs,
 		})
 	}
 }

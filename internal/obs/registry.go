@@ -131,7 +131,7 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 const histogramBound = 4096
 
 // Histogram accumulates float observations with bounded memory and reports
-// order statistics (p50/p90/max). Safe for concurrent use.
+// order statistics (p50/p90/p99/max). Safe for concurrent use.
 type Histogram struct {
 	mu      sync.Mutex
 	count   int64
@@ -181,6 +181,10 @@ type HistSnapshot struct {
 	Max   float64
 	P50   float64
 	P90   float64
+	// P99 is the tail percentile serving-mode dashboards watch: probe
+	// counts (and hence latencies) can degenerate far beyond the average
+	// case, so deployments alert on this, not the mean.
+	P99 float64
 }
 
 // Snapshot summarizes the histogram. Percentiles come from the (possibly
@@ -202,6 +206,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		Max:   h.max,
 		P50:   stats.Percentile(sorted, 0.5),
 		P90:   stats.Percentile(sorted, 0.9),
+		P99:   stats.Percentile(sorted, 0.99),
 	}
 }
 

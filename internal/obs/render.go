@@ -110,6 +110,7 @@ func WriteText(w io.Writer, s Snapshot) error {
 		add(name, "summary", fmt.Sprintf("qres_%s_sum%s %g", name, labelPairs(name, labels), h.Sum))
 		add(name, "summary", fmt.Sprintf("qres_%s%s %g", name, labelPairs(name, labels, `quantile="0.5"`), h.P50))
 		add(name, "summary", fmt.Sprintf("qres_%s%s %g", name, labelPairs(name, labels, `quantile="0.9"`), h.P90))
+		add(name, "summary", fmt.Sprintf("qres_%s%s %g", name, labelPairs(name, labels, `quantile="0.99"`), h.P99))
 		add(name, "summary", fmt.Sprintf("qres_%s_min%s %g", name, labelPairs(name, labels), h.Min))
 		add(name, "summary", fmt.Sprintf("qres_%s_max%s %g", name, labelPairs(name, labels), h.Max))
 	}

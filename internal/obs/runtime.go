@@ -1,0 +1,26 @@
+package obs
+
+import "runtime"
+
+// CollectRuntime samples Go runtime health into reg as gauges, prefixed
+// "go_": goroutine count, heap allocation, GC cycle count and pause times.
+// The resolution service calls it on every /metrics scrape, so the series
+// are as fresh as the scrape interval; library users may call it whenever
+// a snapshot is about to be taken. ReadMemStats briefly stops the world,
+// so this is a scrape-rate operation, not a hot-path one.
+func CollectRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("go_goroutines").Set(float64(runtime.NumGoroutine()))
+	reg.Gauge("go_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	reg.Gauge("go_heap_objects").Set(float64(ms.HeapObjects))
+	reg.Gauge("go_gc_cycles").Set(float64(ms.NumGC))
+	reg.Gauge("go_gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	if ms.NumGC > 0 {
+		last := ms.PauseNs[(ms.NumGC+255)%256]
+		reg.Gauge("go_gc_pause_last_seconds").Set(float64(last) / 1e9)
+	}
+}

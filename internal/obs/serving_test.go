@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramP99 exercises the tail percentile on an exactly-known
+// distribution: 1..100 has p50=50.5, p99=99.01 under linear interpolation.
+func TestHistogramP99(t *testing.T) {
+	h := newHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if got, want := s.P99, 99.01; !near(got, want) {
+		t.Errorf("P99 = %v, want %v", got, want)
+	}
+	if got, want := s.P50, 50.5; !near(got, want) {
+		t.Errorf("P50 = %v, want %v", got, want)
+	}
+	if s.P99 < s.P90 || s.P99 > s.Max {
+		t.Errorf("P99 %v outside [P90 %v, Max %v]", s.P99, s.P90, s.Max)
+	}
+}
+
+func near(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+// TestWriteTextGolden pins the full exposition for a registry holding one
+// labeled histogram (with the 0.99 quantile), a counter whose label value
+// needs escaping, and a gauge.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("stage_seconds", "probe", "General+LAL")
+	h.Observe(0)
+	h.Observe(1)
+	reg.Counter("events_total", "probe", "quo\"te\\back\nnl").Add(7)
+	reg.Gauge("undecided_exprs", "General+LAL").Set(3)
+
+	var b strings.Builder
+	if err := WriteText(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE qres_events_total counter
+qres_events_total{stage="probe",session="quo\"te\\back\nnl"} 7
+# TYPE qres_stage_seconds summary
+qres_stage_seconds_count{stage="probe",session="General+LAL"} 2
+qres_stage_seconds_max{stage="probe",session="General+LAL"} 1
+qres_stage_seconds_min{stage="probe",session="General+LAL"} 0
+qres_stage_seconds_sum{stage="probe",session="General+LAL"} 1
+qres_stage_seconds{stage="probe",session="General+LAL",quantile="0.5"} 0.5
+qres_stage_seconds{stage="probe",session="General+LAL",quantile="0.9"} 0.9
+qres_stage_seconds{stage="probe",session="General+LAL",quantile="0.99"} 0.99
+# TYPE qres_undecided_exprs gauge
+qres_undecided_exprs{session="General+LAL"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ ok int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.ok <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.ok--
+	return len(p), nil
+}
+
+func TestJSONLCountsDroppedEvents(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJSONL(&errWriter{ok: 2})
+	j.CountDrops(reg.Counter("trace_dropped_total"))
+
+	for i := 0; i < 5; i++ {
+		j.Emit(Event{Stage: StageProbe, Round: i})
+	}
+	if got := j.Dropped(); got != 3 {
+		t.Errorf("Dropped() = %d, want 3", got)
+	}
+	if got := reg.Counter("trace_dropped_total").Value(); got != 3 {
+		t.Errorf("trace_dropped_total = %d, want 3", got)
+	}
+}
+
+// TestScopeStampsSpans checks that a handle derived with WithScope stamps
+// every span with the scope's session and (current) request IDs, across
+// WithSession derivation, and that a nil scope stays inert.
+func TestScopeStampsSpans(t *testing.T) {
+	col := &Collector{}
+	sc := NewScope("sess-1")
+	o := New("", col, nil).WithScope(sc).WithSession("General+LAL")
+
+	sc.SetRequest("req-a")
+	o.Emit(StageSelector, 0, time.Now(), time.Millisecond)
+	sc.SetRequest("req-b")
+	o.Emit(StageProbe, 0, time.Now(), time.Millisecond)
+
+	evs := col.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	for i, wantReq := range []string{"req-a", "req-b"} {
+		if evs[i].SessionID != "sess-1" {
+			t.Errorf("event %d SessionID = %q, want sess-1", i, evs[i].SessionID)
+		}
+		if evs[i].Request != wantReq {
+			t.Errorf("event %d Request = %q, want %q", i, evs[i].Request, wantReq)
+		}
+		if evs[i].Session != "General+LAL" {
+			t.Errorf("event %d Session = %q, want General+LAL", i, evs[i].Session)
+		}
+	}
+
+	// Unscoped handles and nil scopes emit empty IDs without panicking.
+	var nilScope *Scope
+	if nilScope.SessionID() != "" || nilScope.Request() != "" {
+		t.Error("nil scope should return empty IDs")
+	}
+	nilScope.SetRequest("x") // must not panic
+	plain := New("s", col, nil)
+	plain.Emit(StageProbe, 0, time.Now(), 0)
+	if ev := col.Events()[2]; ev.SessionID != "" || ev.Request != "" {
+		t.Errorf("unscoped event carries IDs: %+v", ev)
+	}
+}

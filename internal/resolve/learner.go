@@ -110,18 +110,19 @@ func (c *featureCache) put(v boolexpr.Var, x []int32) {
 // published (encoder, classifier) pair under a read lock and traverse the
 // immutable model outside it.
 type Learner struct {
-	mode          LearningMode
-	model         ModelKind
-	db            *uncertain.DB
-	repo          *Repository
-	lal           *learn.LAL
-	trees         int
-	minTrain      int
-	seed          int64
-	forestWorkers int
-	fullRetrain   bool
-	knownProbs    map[boolexpr.Var]float64
-	obs           *obs.Obs
+	mode           LearningMode
+	model          ModelKind
+	db             *uncertain.DB
+	repo           *Repository
+	lal            *learn.LAL
+	trees          int
+	minTrain       int
+	seed           int64
+	forestWorkers  int
+	fullRetrain    bool
+	knownProbs     map[boolexpr.Var]float64
+	obs            *obs.Obs
+	stallThreshold time.Duration
 
 	mu       sync.RWMutex
 	enc      *learn.Encoder
@@ -167,6 +168,11 @@ type LearnerConfig struct {
 	KnownProbs map[boolexpr.Var]float64
 	// Obs, when non-nil, receives a span event per (re)training pass.
 	Obs *obs.Obs
+	// StallThreshold flags online retrains that stall the answer path:
+	// when an Observe-triggered retrain takes at least this long, the
+	// "retrain_stalls_total" counter is incremented (0 disables). Only
+	// answer-path retrains count; the constructor's initial fit does not.
+	StallThreshold time.Duration
 }
 
 // NewLearner builds a Learner over the repository. In Offline and Online
@@ -180,19 +186,20 @@ func NewLearner(db *uncertain.DB, repo *Repository, cfg LearnerConfig) *Learner 
 		cfg.MinTrain = 20
 	}
 	l := &Learner{
-		mode:          cfg.Mode,
-		model:         cfg.Model,
-		db:            db,
-		repo:          repo,
-		lal:           cfg.LAL,
-		trees:         cfg.Trees,
-		minTrain:      cfg.MinTrain,
-		seed:          cfg.Seed,
-		forestWorkers: cfg.ForestWorkers,
-		fullRetrain:   cfg.FullRetrain,
-		knownProbs:    cfg.KnownProbs,
-		obs:           cfg.Obs,
-		xc:            newFeatureCache(),
+		mode:           cfg.Mode,
+		model:          cfg.Model,
+		db:             db,
+		repo:           repo,
+		lal:            cfg.LAL,
+		trees:          cfg.Trees,
+		minTrain:       cfg.MinTrain,
+		seed:           cfg.Seed,
+		forestWorkers:  cfg.ForestWorkers,
+		fullRetrain:    cfg.FullRetrain,
+		knownProbs:     cfg.KnownProbs,
+		obs:            cfg.Obs,
+		stallThreshold: cfg.StallThreshold,
+		xc:             newFeatureCache(),
 	}
 	if l.mode != LearnEP && l.knownProbs == nil {
 		l.obs.Gauge("forest_workers", float64(learn.EffectiveWorkers(cfg.ForestWorkers)))
@@ -465,13 +472,18 @@ func (l *Learner) UncertaintyBatch(vars []boolexpr.Var, out []float64) []float64
 
 // Observe records a probe answer in the repository and, in online mode,
 // retrains the classifier — the paper's Step 5 followed by the iterative
-// return to Step 3.
+// return to Step 3. The retrain runs on the answer path, so retrains at
+// or above the configured stall threshold are counted as stalls.
 func (l *Learner) Observe(v boolexpr.Var, answer bool) {
 	l.repo.AddVar(v, l.db.MetaFor(v), answer)
 	if l.mode == LearnOnline && l.knownProbs == nil {
+		start := time.Now()
 		l.mu.Lock()
 		l.retrainLocked()
 		l.mu.Unlock()
+		if l.stallThreshold > 0 && time.Since(start) >= l.stallThreshold {
+			l.obs.Count("retrain_stalls_total", 1)
+		}
 	}
 }
 

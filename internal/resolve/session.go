@@ -100,6 +100,11 @@ type Config struct {
 	// FullRetrain disables the Learner's warm-started retrain path (see
 	// LearnerConfig.FullRetrain); models are identical either way.
 	FullRetrain bool
+	// RetrainStallThreshold counts online retrains that hold up the answer
+	// path for at least this long as "retrain_stalls_total" (0 disables).
+	// A serving deployment watches this counter to decide when retraining
+	// must move off the probe critical path.
+	RetrainStallThreshold time.Duration
 
 	// DisableSplitting turns off expression splitting entirely; sessions
 	// whose utility needs CNF then fail on oversized expressions.
@@ -331,16 +336,17 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 	}
 
 	s.learner = NewLearner(db, repo, LearnerConfig{
-		Mode:          cfg.Learning,
-		Model:         cfg.Model,
-		Trees:         cfg.Trees,
-		MinTrain:      cfg.MinTrain,
-		ForestWorkers: cfg.ForestWorkers,
-		FullRetrain:   cfg.FullRetrain,
-		LAL:           cfg.LAL,
-		Seed:          cfg.Seed,
-		KnownProbs:    cfg.KnownProbs,
-		Obs:           s.obs,
+		Mode:           cfg.Learning,
+		Model:          cfg.Model,
+		Trees:          cfg.Trees,
+		MinTrain:       cfg.MinTrain,
+		ForestWorkers:  cfg.ForestWorkers,
+		FullRetrain:    cfg.FullRetrain,
+		LAL:            cfg.LAL,
+		Seed:           cfg.Seed,
+		KnownProbs:     cfg.KnownProbs,
+		Obs:            s.obs,
+		StallThreshold: cfg.RetrainStallThreshold,
 	})
 
 	switch cfg.Baseline {

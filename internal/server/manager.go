@@ -24,7 +24,8 @@ type session struct {
 	mu       sync.Mutex
 	inner    *resolve.Session
 	result   *engine.Result
-	name     string // configuration display name
+	name     string     // configuration display name
+	scope    *obs.Scope // request-scoped trace identity (session + request IDs)
 	lastUsed time.Time
 	probes   int
 	done     bool

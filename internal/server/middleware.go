@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"time"
+
+	"qres/internal/obs"
+)
+
+// Request-scoped observability: every request gets an ID (the client's
+// X-Request-Id when present, a generated one otherwise) which is echoed in
+// the response, threaded through the request context into the session's
+// *obs.Scope — so every pipeline span the request triggers carries it —
+// and stamped on the structured slow-request log. Around the handler the
+// middleware maintains the per-route latency histogram, status-class
+// request counter and in-flight gauge the load harness scrapes.
+
+func init() {
+	obs.RegisterMetricLabels("http_request_seconds", "route", "class")
+	obs.RegisterMetricLabels("http_requests_total", "route", "class")
+	obs.RegisterMetricLabels("http_in_flight", "route")
+	obs.RegisterMetricLabels("slow_requests_total", "route")
+}
+
+// requestIDKey is the context key the request ID travels under.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID extracts the request ID from a context ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID returns a 16-hex-digit random request identifier.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass buckets a status code for metric labels ("2xx", "4xx", ...).
+func statusClass(code int) string {
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// instrument wraps a route handler with request-scoped observability. The
+// route label is the handler's logical name (e.g. "answer"), not the raw
+// path, so label cardinality stays bounded.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		r = r.WithContext(WithRequestID(r.Context(), reqID))
+
+		inFlight := s.reg.Gauge("http_in_flight", route)
+		inFlight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		dur := time.Since(start)
+		inFlight.Add(-1)
+
+		class := statusClass(rec.status)
+		s.reg.Histogram("http_request_seconds", route, class).Observe(dur.Seconds())
+		s.reg.Counter("http_requests_total", route, class).Inc()
+		if dur >= s.slowThreshold {
+			s.reg.Counter("slow_requests_total", route).Inc()
+			if s.slowLog != nil {
+				s.slowLog.Emit(obs.Event{
+					Time:    start,
+					Stage:   obs.StageHTTPRequest,
+					Round:   -1,
+					Dur:     dur,
+					Request: reqID,
+					Attrs: []obs.Attr{
+						obs.Str("route", route),
+						obs.Str("method", r.Method),
+						obs.Str("path", r.URL.Path),
+						obs.Int("status", rec.status),
+					},
+				})
+			}
+		}
+	}
+}

@@ -45,6 +45,21 @@ type Config struct {
 	// Registry collects service and per-stage pipeline metrics, rendered
 	// by GET /metrics. Nil creates a private registry.
 	Registry *obs.Registry
+	// Trace receives a span event for every pipeline stage each hosted
+	// session executes (selector, retrain, probe, ...). Spans carry the
+	// hosting session's ID and the ID of the HTTP request that triggered
+	// the work. Nil disables span tracing (metrics still collect).
+	Trace obs.Sink
+	// SlowLog receives one structured event (stage "http_request") per
+	// request slower than SlowRequestThreshold. Nil disables the log; the
+	// "slow_requests_total" counter increments either way.
+	SlowLog obs.Sink
+	// SlowRequestThreshold is the slow-request latency bound (default
+	// 500ms).
+	SlowRequestThreshold time.Duration
+	// RetrainStallThreshold counts answer-path retrains at least this slow
+	// as "retrain_stalls_total" (default 100ms; negative disables).
+	RetrainStallThreshold time.Duration
 }
 
 // Server is the resolution service: an http.Handler plus the session
@@ -56,6 +71,11 @@ type Server struct {
 	reg   *obs.Registry
 	mgr   *manager
 	mux   *http.ServeMux
+
+	trace          obs.Sink
+	slowLog        obs.Sink
+	slowThreshold  time.Duration
+	stallThreshold time.Duration
 
 	httpServer *http.Server
 	sweepStop  chan struct{}
@@ -80,32 +100,47 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Repo == nil {
 		cfg.Repo = resolve.NewRepository()
 	}
+	if cfg.SlowRequestThreshold <= 0 {
+		cfg.SlowRequestThreshold = 500 * time.Millisecond
+	}
+	switch {
+	case cfg.RetrainStallThreshold == 0:
+		cfg.RetrainStallThreshold = 100 * time.Millisecond
+	case cfg.RetrainStallThreshold < 0:
+		cfg.RetrainStallThreshold = 0
+	}
 	s := &Server{
-		udb:       cfg.DB,
-		repo:      cfg.Repo,
-		store:     cfg.Store,
-		reg:       cfg.Registry,
-		mgr:       newManager(cfg.MaxSessions, cfg.SessionTTL, cfg.Registry),
-		mux:       http.NewServeMux(),
-		sweepStop: make(chan struct{}),
-		sweepDone: make(chan struct{}),
+		udb:            cfg.DB,
+		repo:           cfg.Repo,
+		store:          cfg.Store,
+		reg:            cfg.Registry,
+		trace:          cfg.Trace,
+		slowLog:        cfg.SlowLog,
+		slowThreshold:  cfg.SlowRequestThreshold,
+		stallThreshold: cfg.RetrainStallThreshold,
+		mgr:            newManager(cfg.MaxSessions, cfg.SessionTTL, cfg.Registry),
+		mux:            http.NewServeMux(),
+		sweepStop:      make(chan struct{}),
+		sweepDone:      make(chan struct{}),
 	}
 	s.routes()
 	go s.janitor(cfg.SessionTTL)
 	return s, nil
 }
 
-// routes wires the v1 API.
+// routes wires the v1 API. Every route runs under the instrumentation
+// middleware (request IDs, latency histograms, slow-request log); the
+// route label is the logical operation, keeping metric cardinality fixed.
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
-	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/probe", s.handleProbe)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/answer", s.handleAnswer)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/status", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/sessions", s.instrument("create_session", s.handleCreateSession))
+	s.mux.HandleFunc("GET /v1/sessions", s.instrument("list_sessions", s.handleListSessions))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/probe", s.instrument("probe", s.handleProbe))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/answer", s.instrument("answer", s.handleAnswer))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/status", s.instrument("status", s.handleStatus))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("status", s.handleStatus))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.handleDeleteSession))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 }
 
 // ServeHTTP implements http.Handler.
@@ -196,7 +231,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("query: %w", err))
 		return
 	}
-	cfg.Obs = obs.New("", nil, s.reg)
+	// The session's observability scope is created before any pipeline
+	// work runs, so even the setup spans (query evaluation, provenance,
+	// initial training) carry the session ID and the creating request's ID.
+	id := newSessionID()
+	scope := obs.NewScope(id)
+	scope.SetRequest(RequestID(r.Context()))
+	cfg.Obs = obs.New("", s.trace, s.reg).WithScope(scope)
+	cfg.RetrainStallThreshold = s.stallThreshold
 	result, err := engine.RunObserved(s.udb, plan, cfg.Obs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("query: %w", err))
@@ -208,15 +250,17 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := &session{
-		id:       newSessionID(),
+		id:       id,
 		created:  time.Now(),
 		lastUsed: time.Now(),
 		inner:    inner,
 		result:   result,
 		name:     cfg.Name(),
+		scope:    scope,
 		done:     inner.Done(),
 	}
 	if err := s.mgr.add(sess); err != nil {
+		s.reg.Counter("backpressure_rejections_total").Inc()
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
@@ -241,6 +285,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.touch()
+	sess.scope.SetRequest(RequestID(r.Context()))
 	req, done, err := sess.inner.NextProbe()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -284,6 +329,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.touch()
+	sess.scope.SetRequest(RequestID(r.Context()))
 	// SubmitAnswer adds the record to the shared repository and the append
 	// logs it to the WAL; running both inside one Store.Update makes the
 	// pair atomic with respect to Snapshot, so a periodic snapshot cannot
@@ -361,6 +407,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.Gauge("repository_records").Set(float64(s.repo.Len()))
+	obs.CollectRuntime(s.reg)
 	if err := obs.WriteText(w, s.reg.Snapshot()); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 	}
