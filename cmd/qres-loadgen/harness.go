@@ -53,6 +53,9 @@ type harnessConfig struct {
 	AnswerLatency time.Duration
 	Strategy      string
 	Trees         int
+	// ShardWorkers bounds component-shard parallelism per session (sent as
+	// the create request's parallelism.shards; 0 leaves the server default).
+	ShardWorkers int
 	// MaxSessions caps the in-process server (ignored with Addr).
 	MaxSessions int
 	Scrape      time.Duration
@@ -78,6 +81,8 @@ type report struct {
 	Rejected429       int      `json:"rejected_429"`
 	ClientErrors      int      `json:"client_errors"`
 	Answers           int      `json:"answers"`
+	ShardWorkers      int      `json:"shard_workers,omitempty"`
+	ComponentGroups   int64    `json:"peak_component_groups"`
 	ThroughputPerSec  float64  `json:"throughput_answers_per_sec"`
 	ProbeSamples      int      `json:"probe_samples"`
 	P50ProbeMS        float64  `json:"p50_probe_ms"`
@@ -103,6 +108,8 @@ func (r *report) Summary() string {
 	fmt.Fprintf(&b, "  throughput=%.1f answers/s (%d answers)\n", r.ThroughputPerSec, r.Answers)
 	fmt.Fprintf(&b, "  server: retrain_stalls=%d rejected_429=%d trace_dropped=%d probe-route p99=%.2fms\n",
 		r.RetrainStalls, r.ServerRejected, r.TraceDropped, r.ServerP99ProbeMS)
+	fmt.Fprintf(&b, "  sharding: shard_workers=%d peak_component_groups=%d\n",
+		r.ShardWorkers, r.ComponentGroups)
 	return b.String()
 }
 
@@ -238,6 +245,9 @@ func (c *loadClient) driveSession(ctx context.Context, cfg harnessConfig, query 
 		Seed:     rng.Int63(),
 		Trees:    cfg.Trees,
 	}
+	if cfg.ShardWorkers != 0 {
+		create.Parallelism = &server.ParallelismJSON{Shards: cfg.ShardWorkers}
+	}
 	var info server.SessionInfo
 	status, err := c.doJSON(ctx, http.MethodPost, "/v1/sessions", create, &info)
 	switch {
@@ -341,9 +351,13 @@ func runHarness(cfg harnessConfig) (*report, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration+cfg.Drain)
 	defer cancel()
 
-	// Metrics scraper: keep the last successful exposition for the report.
+	// Metrics scraper: keep the last successful exposition for the report,
+	// plus the peak of the component-group gauge — live gauges read zero on
+	// the post-drain final scrape, so the mid-run high-water mark is the
+	// number that describes the sharded-serving run.
 	var scrapeMu sync.Mutex
 	var lastScrape string
+	var peakGroups float64
 	scrapeOnce := func() {
 		req, err := http.NewRequest(http.MethodGet, target+"/metrics", nil)
 		if err != nil {
@@ -360,6 +374,9 @@ func runHarness(cfg harnessConfig) (*report, error) {
 		}
 		scrapeMu.Lock()
 		lastScrape = string(body)
+		if g := parseExposition(lastScrape).sum("qres_component_groups_active"); g > peakGroups {
+			peakGroups = g
+		}
 		scrapeMu.Unlock()
 	}
 	scrapeStop := make(chan struct{})
@@ -442,6 +459,8 @@ arrivalLoop:
 		Rejected429:       client.ctr.rejected,
 		ClientErrors:      client.ctr.errors,
 		Answers:           client.ctr.answers,
+		ShardWorkers:      cfg.ShardWorkers,
+		ComponentGroups:   int64(peakGroups),
 		ThroughputPerSec:  float64(client.ctr.answers) / elapsed.Seconds(),
 		ProbeSamples:      n,
 		P50ProbeMS:        p50,

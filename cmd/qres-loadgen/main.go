@@ -38,6 +38,7 @@ func main() {
 		answerLat = flag.Duration("answer-latency", 5*time.Millisecond, "simulated oracle think time per answer")
 		strategy  = flag.String("strategy", "general", "session strategy (general, qvalue, ro, random, greedy, lal-only)")
 		trees     = flag.Int("trees", 25, "forest size per session")
+		shardW    = flag.Int("shard-workers", 0, "component-shard workers per session (0: server default, 1: serial)")
 		sessions  = flag.Int("max-sessions", 64, "in-process server session cap (drives 429 backpressure)")
 		scrape    = flag.Duration("scrape", 2*time.Second, "/metrics scrape interval")
 		seed      = flag.Int64("seed", 1, "seed for arrival jitter, query mix and synthetic answers")
@@ -57,6 +58,7 @@ func main() {
 		AnswerLatency: *answerLat,
 		Strategy:      *strategy,
 		Trees:         *trees,
+		ShardWorkers:  *shardW,
 		MaxSessions:   *sessions,
 		Scrape:        *scrape,
 		Seed:          *seed,

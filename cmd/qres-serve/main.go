@@ -48,6 +48,7 @@ func main() {
 		storeDir    = flag.String("store", "", "probes store directory (empty: in-memory only)")
 		maxSessions = flag.Int("max-sessions", 64, "maximum concurrently live sessions")
 		ttl         = flag.Duration("ttl", 30*time.Minute, "idle session time-to-live")
+		shardW      = flag.Int("shard-workers", 0, "default component-shard workers per session (0 = per CPU, 1 = serial)")
 		tracePath   = flag.String("trace", "", "append pipeline span trace to this JSONL file")
 		slowPath    = flag.String("slow-log", "", "append slow-request log to this JSONL file")
 		slowAfter   = flag.Duration("slow-threshold", 500*time.Millisecond, "slow-request latency threshold")
@@ -59,7 +60,8 @@ func main() {
 	opts := serveOptions{
 		addr: *addr, data: *data, sf: *sf, athletes: *athletes, seed: *seed,
 		storeDir: *storeDir, maxSessions: *maxSessions, ttl: *ttl,
-		tracePath: *tracePath, slowPath: *slowPath,
+		shardWorkers: *shardW,
+		tracePath:    *tracePath, slowPath: *slowPath,
 		slowAfter: *slowAfter, stallAfter: *stallAfter, debugAddr: *debugAddr,
 	}
 	if err := run(opts); err != nil {
@@ -75,6 +77,7 @@ type serveOptions struct {
 	seed                  int64
 	storeDir              string
 	maxSessions           int
+	shardWorkers          int
 	ttl                   time.Duration
 	tracePath, slowPath   string
 	slowAfter, stallAfter time.Duration
@@ -118,6 +121,7 @@ func run(o serveOptions) error {
 		DB:                    udb,
 		MaxSessions:           o.maxSessions,
 		SessionTTL:            o.ttl,
+		Parallel:              resolve.Parallelism{Shards: o.shardWorkers},
 		Registry:              reg,
 		SlowRequestThreshold:  o.slowAfter,
 		RetrainStallThreshold: o.stallAfter,

@@ -1,0 +1,33 @@
+package qres
+
+import (
+	"errors"
+
+	"qres/internal/resolve"
+)
+
+// Sentinel errors of the resolution API. Callers branch on them with
+// errors.Is; returned errors may wrap a sentinel with detail (the tuple or
+// variable involved). The serving layer maps each sentinel to a stable
+// machine-readable error code — see the README's "Serving" section for the
+// wire contract.
+var (
+	// ErrSessionDone: the operation needs an unfinished session, but every
+	// row's correctness is already decided.
+	ErrSessionDone = resolve.ErrSessionDone
+	// ErrSessionNotDone: Resolution was called before the session finished;
+	// drive Step (or Finish) to completion first.
+	ErrSessionNotDone = errors.New("qres: session not finished; call Step or Finish until done")
+	// ErrNoProbePending: SubmitAnswer was called with no probe outstanding;
+	// call NextProbe first.
+	ErrNoProbePending = resolve.ErrNoProbePending
+	// ErrProbeMismatch: the submitted answer references a different tuple
+	// than the outstanding probe.
+	ErrProbeMismatch = resolve.ErrProbeMismatch
+	// ErrNoOracle: Step was called on a session constructed without an
+	// oracle; such sessions are driven through NextProbe/SubmitAnswer.
+	ErrNoOracle = resolve.ErrNoOracle
+	// ErrUnknownVariable: a TupleRef (or internal variable) does not name a
+	// tuple of this database.
+	ErrUnknownVariable = resolve.ErrUnknownVariable
+)

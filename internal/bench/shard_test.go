@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"qres/internal/oracle"
+	"qres/internal/resolve"
+	"qres/internal/stats"
+)
+
+// Component-sharded selection must pick the identical probe sequence and
+// resolve the identical answer set as the monolithic path on the seed
+// workloads, for every tested shard-worker count — the end-to-end
+// counterpart of the synthetic equivalence test in internal/resolve.
+func TestShardEquivalenceSeedWorkloads(t *testing.T) {
+	sc := Scale{TPCHSF: 0.001, NELLAthletes: 50, InitialProbes: 40, Trees: 5, Reps: 1}
+
+	loads := []struct {
+		name string
+		load func() (*Workload, error)
+	}{
+		{"nell-ms1", func() (*Workload, error) { return LoadNELL("MS1", sc, RDTGroundTruth(), 17) }},
+		{"tpch-q3", func() (*Workload, error) { return LoadTPCH("Q3", sc, FixedGroundTruth(0.5), 17) }},
+	}
+	configs := []resolve.Config{
+		{Utility: resolve.QValue{}, Learning: resolve.LearnEP},
+		{Utility: resolve.RO{}, Learning: resolve.LearnEP},
+		{Utility: resolve.General{}, Learning: resolve.LearnEP},
+		{Utility: resolve.General{}, Learning: resolve.LearnOffline},
+	}
+
+	for _, ld := range loads {
+		w, err := ld.load()
+		if err != nil {
+			t.Fatalf("%s: %v", ld.name, err)
+		}
+		for _, cfg := range configs {
+			cfg.Trees = sc.Trees
+			name := ld.name + "/" + cfg.Name()
+			t.Run(name, func(t *testing.T) {
+				run := func(mutate func(*resolve.Config)) ([]int, []int, int) {
+					c := cfg
+					mutate(&c)
+					rec := oracle.NewRecorder(w.Oracle())
+					out, err := w.RunWithOracle(c, sc.InitialProbes, 23, rec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					probes := make([]int, 0, rec.Count())
+					for _, v := range rec.Probes() {
+						probes = append(probes, int(v))
+					}
+					return probes, out.CorrectRows(), out.Probes
+				}
+				monoProbes, monoRows, monoN := run(func(c *resolve.Config) { c.DisableSharding = true })
+				for _, workers := range []int{0, 1, 2, 8} {
+					probes, rows, n := run(func(c *resolve.Config) { c.Parallel.Shards = workers })
+					if monoN != n || !reflect.DeepEqual(monoProbes, probes) {
+						t.Fatalf("probe sequence diverged at %d shard workers (mono %d probes, sharded %d)\nmono:  %v\nshard: %v",
+							workers, monoN, n, monoProbes, probes)
+					}
+					if !reflect.DeepEqual(monoRows, rows) {
+						t.Fatalf("answer set diverged at %d shard workers", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardStepPath measures per-probe wall time on the seed
+// workloads, monolithic versus component-sharded at 1/2/4/8 shard workers
+// — the speedup curves results/BENCH_shard.json records. The Q-Value+EP
+// configuration keeps the Learner version stable and every round's score
+// kind cacheable, so untouched shards serve whole rounds from cached
+// winners and per-probe cost tracks the probed component's size rather
+// than the workset's; the monolithic path rebuilds its candidate scan
+// over the whole workset every round.
+func BenchmarkShardStepPath(b *testing.B) {
+	sc := Scale{TPCHSF: 0.01, NELLAthletes: 500, InitialProbes: 80, Trees: 5, Reps: 1}
+
+	loads := []struct {
+		name string
+		load func() (*Workload, error)
+	}{
+		{"nell-ms1", func() (*Workload, error) { return LoadNELL("MS1", sc, RDTGroundTruth(), 17) }},
+		{"tpch-q3", func() (*Workload, error) { return LoadTPCH("Q3", sc, FixedGroundTruth(0.5), 17) }},
+	}
+	modes := []struct {
+		name   string
+		mutate func(*resolve.Config)
+	}{
+		{"monolithic", func(c *resolve.Config) { c.DisableSharding = true }},
+		{"shards-1", func(c *resolve.Config) { c.Parallel.Shards = 1 }},
+		{"shards-2", func(c *resolve.Config) { c.Parallel.Shards = 2 }},
+		{"shards-4", func(c *resolve.Config) { c.Parallel.Shards = 4 }},
+		{"shards-8", func(c *resolve.Config) { c.Parallel.Shards = 8 }},
+	}
+
+	for _, ld := range loads {
+		w, err := ld.load()
+		if err != nil {
+			b.Fatalf("%s: %v", ld.name, err)
+		}
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/%s", ld.name, mode.name), func(b *testing.B) {
+				cfg := resolve.Config{Utility: resolve.QValue{}, Learning: resolve.LearnEP, Trees: sc.Trees, Seed: 23}
+				mode.mutate(&cfg)
+				// Session construction (EP calibration, cache and shard
+				// builds) happens outside the timer: the step path is
+				// what sharding changes, so that is what gets measured.
+				var steps int
+				var inLoop time.Duration
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					repo := w.Repository(sc.InitialProbes, stats.SubSeed(23, 11))
+					sess, err := resolve.NewSession(w.DB, w.Result, w.Oracle(), repo, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					start := time.Now()
+					for !sess.Done() {
+						if _, _, err := sess.Step(); err != nil {
+							b.Fatal(err)
+						}
+						steps++
+					}
+					inLoop += time.Since(start)
+				}
+				if steps > 0 {
+					b.ReportMetric(float64(inLoop.Nanoseconds())/float64(steps), "ns/step")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package resolve
+
+import "errors"
+
+// Sentinel errors of the session lifecycle. The public qres package
+// re-exports them and internal/server maps each onto a stable
+// machine-readable error code, so callers branch with errors.Is instead
+// of matching message strings. Wrapped variants carry detail (the
+// variables involved); errors.Is still matches the sentinel.
+var (
+	// ErrSessionDone: the operation needs an unfinished session, but every
+	// expression is already decided.
+	ErrSessionDone = errors.New("resolve: session is already done")
+	// ErrNoProbePending: an answer arrived with no probe outstanding.
+	ErrNoProbePending = errors.New("resolve: no probe outstanding; call NextProbe first")
+	// ErrProbeMismatch: an answer names a different variable than the
+	// outstanding probe.
+	ErrProbeMismatch = errors.New("resolve: answer does not match the outstanding probe")
+	// ErrNoOracle: Step was called on a session constructed without an
+	// oracle (such sessions are driven through NextProbe/SubmitAnswer).
+	ErrNoOracle = errors.New("resolve: session has no oracle; use NextProbe/SubmitAnswer")
+	// ErrUnknownVariable: a reference names a tuple/variable the database
+	// does not know.
+	ErrUnknownVariable = errors.New("resolve: unknown variable")
+)

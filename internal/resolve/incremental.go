@@ -48,6 +48,12 @@ type incState struct {
 	learner *Learner
 	workers int
 
+	// exprIDs restricts full-scan cache builds to this expression subset (a
+	// component shard); nil means the whole workset. Delta reconciliation
+	// needs no restriction — the session routes each delta to the one shard
+	// whose component it touches.
+	exprIDs []int
+
 	// ver is the Learner version the caches were built against; haveVer
 	// distinguishes "version 0" from "never initialized".
 	ver     uint64
@@ -93,13 +99,33 @@ type roCache struct {
 	dirtyVars  map[boolexpr.Var]bool
 }
 
-// newIncState builds the incremental scoring state for a session. workers
-// bounds rescore parallelism; <= 0 defaults to GOMAXPROCS.
-func newIncState(work *workset, learner *Learner, workers int) *incState {
+// newIncState builds the incremental scoring state for a session or one
+// component shard of it. workers bounds rescore parallelism; <= 0 defaults
+// to GOMAXPROCS. exprIDs scopes full-scan cache builds to that expression
+// subset; nil covers the whole workset.
+func newIncState(work *workset, learner *Learner, workers int, exprIDs []int) *incState {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &incState{work: work, learner: learner, workers: workers}
+	return &incState{work: work, learner: learner, workers: workers, exprIDs: exprIDs}
+}
+
+// eachUndecided visits the undecided expressions in scope — the exprIDs
+// subset if set, otherwise the whole workset — in ascending index order.
+func (inc *incState) eachUndecided(fn func(i int, e boolexpr.Expr)) {
+	if inc.exprIDs != nil {
+		for _, i := range inc.exprIDs {
+			if e := inc.work.exprs[i]; !e.Decided() {
+				fn(i, e)
+			}
+		}
+		return
+	}
+	for i, e := range inc.work.exprs {
+		if !e.Decided() {
+			fn(i, e)
+		}
+	}
 }
 
 // noteDelta reconciles the cache key sets against one probe delta, eagerly:
@@ -244,16 +270,13 @@ func (inc *incState) generalFalseScores(candidates []boolexpr.Var, probs map[boo
 	if inc.tc == nil {
 		inc.tc = make(map[boolexpr.Var]int, len(candidates))
 		inc.tcDirty = make(map[boolexpr.Var]bool)
-		for _, e := range inc.work.exprs {
-			if e.Decided() {
-				continue
-			}
+		inc.eachUndecided(func(_ int, e boolexpr.Expr) {
 			for _, t := range e.Terms() {
 				for _, x := range t {
 					inc.tc[x]++
 				}
 			}
-		}
+		})
 		st.rescored, st.misses = len(candidates), len(candidates)
 	} else if len(inc.tcDirty) > 0 {
 		dirty := sortedVarSet(inc.tcDirty)
@@ -272,13 +295,23 @@ func (inc *incState) generalFalseScores(candidates []boolexpr.Var, probs map[boo
 	return func(v boolexpr.Var) float64 { return generalFalseScore(probs[v], tc[v]) }, st
 }
 
-// roScores maintains the Formula (2) caches: touched expressions refresh
-// their term weights in the sorted multiset, dirty variables recompute
-// their best containing-term weight, and α is re-derived from the
+// roScores maintains the Formula (2) caches and derives the round's score
+// function from them: reconcile the weight structures, size α from the
 // maintained multiset with the same weightStatsSorted the full path sorts
-// into. The final (1−π̃) + α·(W+ε) combine is cheap and runs for every
-// candidate, exactly as in the full recompute.
+// into, and combine. Component shards call the two halves — roReconcile
+// and roScoreFn — separately, because their α must come from the k-way
+// merge of every shard's multiset rather than one shard's own.
 func (inc *incState) roScores(candidates []boolexpr.Var, probs map[boolexpr.Var]float64) (func(boolexpr.Var) float64, scoreStats) {
+	st := inc.roReconcile(candidates, probs)
+	minW, gap := weightStatsSorted(inc.ro.sorted)
+	return inc.roScoreFn(probs, roAlphaFromStats(minW, gap)), st
+}
+
+// roReconcile maintains the Formula (2) caches: touched expressions refresh
+// their term weights in the sorted multiset, dirty variables recompute
+// their best containing-term weight.
+func (inc *incState) roReconcile(candidates []boolexpr.Var, probs map[boolexpr.Var]float64) scoreStats {
+	inc.ensureVersion()
 	prob := func(v boolexpr.Var) float64 { return probs[v] }
 	var st scoreStats
 	if inc.ro == nil {
@@ -288,10 +321,7 @@ func (inc *incState) roScores(candidates []boolexpr.Var, probs map[boolexpr.Var]
 			dirtyExprs: make(map[int]bool),
 			dirtyVars:  make(map[boolexpr.Var]bool),
 		}
-		for i, e := range inc.work.exprs {
-			if e.Decided() {
-				continue
-			}
+		inc.eachUndecided(func(i int, e boolexpr.Expr) {
 			terms := e.Terms()
 			ws := make([]float64, len(terms))
 			for ti, t := range terms {
@@ -305,7 +335,7 @@ func (inc *incState) roScores(candidates []boolexpr.Var, probs map[boolexpr.Var]
 			}
 			c.weights[i] = ws
 			c.sorted = append(c.sorted, ws...)
-		}
+		})
 		sort.Float64s(c.sorted)
 		inc.ro = c
 		st.rescored, st.misses = len(candidates), len(candidates)
@@ -355,10 +385,15 @@ func (inc *incState) roScores(candidates []boolexpr.Var, probs map[boolexpr.Var]
 		}
 	}
 	st.hits = len(candidates) - st.misses
-	minW, gap := weightStatsSorted(inc.ro.sorted)
-	alpha := roAlphaFromStats(minW, gap)
+	return st
+}
+
+// roScoreFn is Formula (2)'s final combine, (1−π̃) + α·(W+ε), over the
+// reconciled best-weight cache. α arrives as an argument so shards can
+// share the globally derived value.
+func (inc *incState) roScoreFn(probs map[boolexpr.Var]float64, alpha float64) func(boolexpr.Var) float64 {
 	bestW := inc.ro.bestW
-	return func(v boolexpr.Var) float64 { return roVarScore(probs[v], bestW[v], alpha) }, st
+	return func(v boolexpr.Var) float64 { return roVarScore(probs[v], bestW[v], alpha) }
 }
 
 // rescoreInto computes fn for every variable (in parallel past the

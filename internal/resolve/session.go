@@ -35,6 +35,22 @@ const (
 	BaselineLALOnly
 )
 
+// Parallelism consolidates the session's worker-count knobs, one field
+// per parallel dimension. The zero value of every field means "default"
+// (one worker per CPU); 1 forces serial execution. Each dimension is a
+// pure latency/throughput knob: trained models, utility scores and probe
+// choices are bit-identical for any worker counts.
+type Parallelism struct {
+	// Forest bounds forest-training parallelism in the Learner.
+	Forest int
+	// Rescore bounds the incremental rescore fan-out within one component
+	// shard (or across the whole workset when sharding is inactive).
+	Rescore int
+	// Shards bounds how many component shards run probe scoring
+	// concurrently within one selection round.
+	Shards int
+}
+
 // Config assembles a resolution-session configuration: either a baseline,
 // or a (utility function × learning mode × combination function) framework
 // instantiation as compared throughout the paper's Section 7.
@@ -84,18 +100,41 @@ type Config struct {
 	// handle disables instrumentation at near-zero cost.
 	Obs *obs.Obs
 
-	// DisableIncremental turns off the incremental scoring hot path: every
-	// round then recomputes all probabilities and utility scores from
-	// scratch. Probe choices are bit-identical either way (the caches reuse
-	// the full path's arithmetic on unchanged inputs); the switch exists for
-	// benchmarking the speedup and as an escape hatch.
+	// Parallel bounds worker fan-out per dimension (forest training,
+	// incremental rescore, component shards). Zero-valued fields default
+	// to one worker per CPU. It subsumes the deprecated ForestWorkers and
+	// RescoreWorkers fields, which are still honored when the matching
+	// Parallel field is zero.
+	Parallel Parallelism
+
+	// DisableIncremental turns off incremental scoring: every round then
+	// recomputes all probabilities and utility scores from scratch (and
+	// component sharding, which builds on the incremental caches, is off
+	// too). Incremental scoring is ON by default — probe choices are
+	// bit-identical either way, because the caches reuse the full path's
+	// arithmetic on unchanged inputs — so this switch exists only for
+	// benchmarking the speedup and as an escape hatch. Wire APIs expose
+	// the positive form ("incremental", default true) instead of this
+	// double negative.
 	DisableIncremental bool
+	// DisableSharding turns off component-sharded probe selection: the
+	// workset is then scored as one monolithic unit even when it splits
+	// into variable-disjoint components. Probe choices are bit-identical
+	// with sharding on or off; the switch exists for benchmarking the
+	// sharded speedup and as an escape hatch.
+	DisableSharding bool
 	// RescoreWorkers bounds the parallelism of the incremental rescore
 	// (default GOMAXPROCS). Results are deterministic for any value.
+	//
+	// Deprecated: set Parallel.Rescore instead. Honored only when
+	// Parallel.Rescore is zero.
 	RescoreWorkers int
 	// ForestWorkers bounds forest-training parallelism in the Learner
 	// (0 = one worker per CPU, 1 = serial). Trained models — and hence
 	// probe choices — are bit-identical for any value.
+	//
+	// Deprecated: set Parallel.Forest instead. Honored only when
+	// Parallel.Forest is zero.
 	ForestWorkers int
 	// FullRetrain disables the Learner's warm-started retrain path (see
 	// LearnerConfig.FullRetrain); models are identical either way.
@@ -121,6 +160,14 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	// The deprecated per-dimension worker fields feed the consolidated
+	// Parallelism struct, which explicit Parallel fields override.
+	if c.Parallel.Forest == 0 {
+		c.Parallel.Forest = c.ForestWorkers
+	}
+	if c.Parallel.Rescore == 0 {
+		c.Parallel.Rescore = c.RescoreWorkers
+	}
 	if c.SplitMaxTerms <= 0 {
 		c.SplitMaxTerms = 8
 	}
@@ -185,6 +232,11 @@ type Stats struct {
 	// model retrains (Learner.Version moves).
 	ProbCacheHits   int
 	ProbCacheMisses int
+	// ShardRoundsReused counts per-shard selection rounds served entirely
+	// from a shard's cached winner: the shard received no probe delta and
+	// the model did not retrain, so its previous argmax is still exact and
+	// scoring is skipped. Zero when component sharding is inactive.
+	ShardRoundsReused int
 	// Learner, LAL, Utility and Selector time each framework component
 	// per probe selection. Baselines populate the timers they exercise
 	// (Random and Greedy only the Selector; LAL-only also the LAL timer).
@@ -206,6 +258,7 @@ func (st *Stats) Merge(other *Stats) {
 	st.ScoreCacheMisses += other.ScoreCacheMisses
 	st.ProbCacheHits += other.ProbCacheHits
 	st.ProbCacheMisses += other.ProbCacheMisses
+	st.ShardRoundsReused += other.ShardRoundsReused
 	st.Learner.Merge(&other.Learner)
 	st.LAL.Merge(&other.LAL)
 	st.Utility.Merge(&other.Utility)
@@ -217,10 +270,11 @@ func (st *Stats) Merge(other *Stats) {
 func (st *Stats) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "probes=%d cost=%.1f known_reused=%d\n", st.Probes, st.Cost, st.KnownReused)
-	fmt.Fprintf(&b, "resimplified=%d rescored=%d score_cache=%d/%d prob_cache=%d/%d (hits/misses)\n",
+	fmt.Fprintf(&b, "resimplified=%d rescored=%d score_cache=%d/%d prob_cache=%d/%d (hits/misses) shard_reuse=%d\n",
 		st.TuplesResimplified, st.VarsRescored,
 		st.ScoreCacheHits, st.ScoreCacheMisses,
-		st.ProbCacheHits, st.ProbCacheMisses)
+		st.ProbCacheHits, st.ProbCacheMisses,
+		st.ShardRoundsReused)
 	row := func(name string, t *stats.Timer) {
 		s := t.Summary()
 		fmt.Fprintf(&b, "%-9s n=%-5d %s\n", name, s.Count, s)
@@ -273,7 +327,7 @@ type Session struct {
 	cfg      Config
 
 	work   *workset
-	inc    *incState           // incremental scoring caches; nil when disabled
+	inc    *incState           // incremental scoring caches; nil when disabled or sharded
 	val    *boolexpr.Valuation // accumulated answers for provenance variables
 	lalBuf []float64           // reused uncertainty-score buffer, one per round
 	rng    *rand.Rand
@@ -281,6 +335,18 @@ type Session struct {
 	stats  Stats
 	obs    *obs.Obs
 	err    error
+
+	// shards are the per-component sub-resolutions when component-sharded
+	// selection is active (nil otherwise); varShard maps each candidate
+	// variable to the shard owning its component. componentCount and
+	// componentSig describe the workset's component structure at session
+	// start regardless of whether sharding activated.
+	shards         []*shard
+	varShard       map[boolexpr.Var]int
+	shardWorkers   int
+	scoredBuf      []*shard // per-round scratch for nextSharded's partition
+	componentCount int
+	componentSig   string
 
 	// repoSeen is the repository length whose records this session has
 	// already reconciled against its candidates. The repository is
@@ -340,7 +406,7 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 		Model:          cfg.Model,
 		Trees:          cfg.Trees,
 		MinTrain:       cfg.MinTrain,
-		ForestWorkers:  cfg.ForestWorkers,
+		ForestWorkers:  cfg.Parallel.Forest,
 		FullRetrain:    cfg.FullRetrain,
 		LAL:            cfg.LAL,
 		Seed:           cfg.Seed,
@@ -401,16 +467,40 @@ func NewSession(db *uncertain.DB, result *engine.Result, orc Oracle, repo *Repos
 		return nil, err
 	}
 	s.work = work
-	if !cfg.DisableIncremental {
-		s.inc = newIncState(work, s.learner, cfg.RescoreWorkers)
+
+	// Component structure: always derived (it labels the session for
+	// shard-group placement in serving mode); shards are only built when
+	// the configuration is eligible and the workset actually splits.
+	groups := boolexpr.Components(work.exprs)
+	s.componentCount = len(groups)
+	s.componentSig = componentSignature(work, groups)
+	switch {
+	case s.shardingEligible(groups):
+		s.buildShards(groups)
+	case !cfg.DisableIncremental:
+		s.inc = newIncState(work, s.learner, cfg.Parallel.Rescore, nil)
 	}
 	s.obs.Emit(obs.StageSplit, -1, splitStart, time.Since(splitStart),
 		obs.Int("parts", len(parts)),
 		obs.Int("undecided", work.undecided),
+		obs.Int("components", s.componentCount),
+		obs.Int("shards", len(s.shards)),
 		obs.Bool("cnf", needCNF))
 	s.obs.Gauge("undecided_exprs", float64(work.undecided))
 	return s, nil
 }
+
+// Components reports how many variable-disjoint connected components the
+// working expressions formed at session start (0 when the session started
+// fully decided). Components share no variables, so they are resolved by
+// independent per-component score caches when sharding is active.
+func (s *Session) Components() int { return s.componentCount }
+
+// ComponentSignature is a stable fingerprint of the workset's component
+// structure at session start. Sessions with equal signatures resolve
+// structurally identical worksets; serving deployments group such
+// sessions onto shard groups sharing one repository view.
+func (s *Session) ComponentSignature() string { return s.componentSig }
 
 // Name returns the configuration's display name.
 func (s *Session) Name() string { return s.cfg.Name() }
@@ -525,10 +615,17 @@ func (s *Session) applyKnown(v boolexpr.Var, answer bool) error {
 }
 
 // noteDelta accounts one probe delta: the resimplification counters and
-// the incremental caches' dirty sets both feed off it.
+// the incremental caches' dirty sets both feed off it. With sharding
+// active the delta routes to the one shard owning the probed variable —
+// components share no variables, so a probe can never touch another
+// shard's state.
 func (s *Session) noteDelta(d *probeDelta) {
 	s.stats.TuplesResimplified += len(d.touched)
 	s.obs.Count("tuples_resimplified", int64(len(d.touched)))
+	if s.shards != nil {
+		s.shards[s.varShard[d.probed]].noteDelta(d)
+		return
+	}
 	s.inc.noteDelta(d)
 }
 
@@ -551,10 +648,13 @@ func (s *Session) SubmitAnswer(v boolexpr.Var, answer bool) (done bool, err erro
 		return true, s.err
 	}
 	if s.pending == nil {
-		return s.work.done(), errors.New("resolve: no outstanding probe; call NextProbe first")
+		if s.work.done() {
+			return true, ErrSessionDone
+		}
+		return false, ErrNoProbePending
 	}
 	if v != s.pending.Var {
-		return false, fmt.Errorf("resolve: answer for variable %d but probe %d is outstanding", v, s.pending.Var)
+		return false, fmt.Errorf("%w: answer for variable %d but probe %d is outstanding", ErrProbeMismatch, v, s.pending.Var)
 	}
 	// The probe span's duration is the oracle's answer latency: the time
 	// between selection and answer delivery.
@@ -594,7 +694,7 @@ func (s *Session) Step() (probed boolexpr.Var, done bool, err error) {
 		return 0, done, err
 	}
 	if s.oracle == nil {
-		s.err = errors.New("resolve: session has no oracle; use NextProbe/SubmitAnswer")
+		s.err = ErrNoOracle
 		return 0, true, s.err
 	}
 	answer, err := s.oracle.Probe(req.Var)

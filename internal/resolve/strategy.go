@@ -107,6 +107,12 @@ func (u utilityStrategy) Name() string {
 func (u utilityStrategy) NeedsCNF() bool { return u.util.NeedsCNF() }
 
 func (u utilityStrategy) next(s *Session, candidates []boolexpr.Var) (boolexpr.Var, error) {
+	// Component-sharded selection: when the workset splits into multiple
+	// connected components, each runs Steps 4.1–4.3 on its own shard and
+	// the winners merge under the same selector policy (see shard.go).
+	if s.shards != nil {
+		return s.nextSharded(u)
+	}
 	// Sub-step 4.1a: probability estimation, timed as "Learner". With the
 	// incremental path, estimates are served from the per-version cache and
 	// only new (or model-invalidated) candidates hit the classifier.

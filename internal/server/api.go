@@ -24,10 +24,31 @@ type CreateSessionRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Trees overrides the forest size (default 100).
 	Trees int `json:"trees,omitempty"`
+	// Parallelism bounds the session's worker counts per parallel
+	// dimension. Omitted dimensions (or the whole object) default to one
+	// worker per CPU; results are bit-identical for any combination.
+	Parallelism *ParallelismJSON `json:"parallelism,omitempty"`
+	// Incremental toggles the incremental scoring caches (and with them
+	// component-sharded selection). Omitted means on; probe choices are
+	// identical either way, so switching it off is purely diagnostic.
+	Incremental *bool `json:"incremental,omitempty"`
 	// ForestWorkers bounds forest-training parallelism (0 = one worker
-	// per CPU, 1 = serial). Trained models are bit-identical for any
-	// value, so this is purely a latency/throughput knob.
+	// per CPU, 1 = serial).
+	//
+	// Deprecated: set Parallelism.Forest instead. Honored only when
+	// Parallelism leaves the forest dimension unset.
 	ForestWorkers int `json:"forest_workers,omitempty"`
+}
+
+// ParallelismJSON is the wire form of the per-dimension worker bounds
+// (zero = one worker per CPU, 1 = serial).
+type ParallelismJSON struct {
+	// Forest bounds forest-training parallelism in the Learner.
+	Forest int `json:"forest,omitempty"`
+	// Rescore bounds incremental-rescore parallelism in the utility caches.
+	Rescore int `json:"rescore,omitempty"`
+	// Shards bounds how many connected components are scored concurrently.
+	Shards int `json:"shards,omitempty"`
 }
 
 // SessionInfo describes one live session.
@@ -43,6 +64,16 @@ type SessionInfo struct {
 	// instead of the oracle.
 	KnownReused int  `json:"known_reused"`
 	Done        bool `json:"done"`
+	// Components is the number of variable-disjoint connected components
+	// the session's provenance splits into (each resolved by its own shard
+	// when there is more than one).
+	Components int `json:"components"`
+	// ComponentGroup fingerprints the component structure; sessions over
+	// the same query and repository state share a group and are co-located
+	// on one shard group over the shared repository view.
+	ComponentGroup string `json:"component_group"`
+	// Parallelism reports the session's effective worker bounds.
+	Parallelism ParallelismJSON `json:"parallelism"`
 	// CreatedUnix and LastUsedUnix are Unix seconds.
 	CreatedUnix  int64 `json:"created_unix"`
 	LastUsedUnix int64 `json:"last_used_unix"`
@@ -99,5 +130,13 @@ type StatusResponse struct {
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries a stable machine-readable code (see the Code*
+// constants) plus human-readable detail. Clients branch on Code; Message
+// may change between releases.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }

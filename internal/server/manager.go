@@ -24,8 +24,10 @@ type session struct {
 	mu       sync.Mutex
 	inner    *resolve.Session
 	result   *engine.Result
-	name     string     // configuration display name
-	scope    *obs.Scope // request-scoped trace identity (session + request IDs)
+	name     string          // configuration display name
+	scope    *obs.Scope      // request-scoped trace identity (session + request IDs)
+	group    string          // component signature; sessions with equal groups co-locate
+	par      ParallelismJSON // effective worker bounds, echoed in SessionInfo
 	lastUsed time.Time
 	probes   int
 	done     bool
@@ -35,7 +37,10 @@ type session struct {
 func (s *session) touch() { s.lastUsed = time.Now() }
 
 // manager owns the live sessions: bounded admission (max sessions, 429
-// backpressure), lookup, and TTL eviction of idle sessions.
+// backpressure), lookup, TTL eviction of idle sessions, and the shard
+// groups — sessions with equal component signatures, counted together so
+// the service can see how much co-locatable load each structure carries
+// over the one shared repository view.
 type manager struct {
 	max int
 	ttl time.Duration
@@ -43,10 +48,12 @@ type manager struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	groups   map[string]int // component signature -> live session count
 }
 
 func newManager(max int, ttl time.Duration, reg *obs.Registry) *manager {
-	return &manager{max: max, ttl: ttl, reg: reg, sessions: make(map[string]*session)}
+	return &manager{max: max, ttl: ttl, reg: reg,
+		sessions: make(map[string]*session), groups: make(map[string]int)}
 }
 
 // errCapacity is returned by add when the session cap is reached.
@@ -62,9 +69,28 @@ func (m *manager) add(s *session) error {
 		return errCapacity
 	}
 	m.sessions[s.id] = s
-	m.reg.Gauge("sessions_active").Set(float64(len(m.sessions)))
+	if s.group != "" {
+		m.groups[s.group]++
+	}
+	m.gaugesLocked()
 	m.reg.Counter("sessions_created_total").Inc()
 	return nil
+}
+
+// dropGroupLocked releases one session's group reference. Callers hold m.mu.
+func (m *manager) dropGroupLocked(s *session) {
+	if s.group == "" {
+		return
+	}
+	if m.groups[s.group]--; m.groups[s.group] <= 0 {
+		delete(m.groups, s.group)
+	}
+}
+
+// gaugesLocked refreshes the session/group gauges. Callers hold m.mu.
+func (m *manager) gaugesLocked() {
+	m.reg.Gauge("sessions_active").Set(float64(len(m.sessions)))
+	m.reg.Gauge("component_groups_active").Set(float64(len(m.groups)))
 }
 
 // get returns the session and refreshes its idle clock.
@@ -80,11 +106,13 @@ func (m *manager) get(id string) (*session, bool) {
 func (m *manager) remove(id string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.sessions[id]; !ok {
+	s, ok := m.sessions[id]
+	if !ok {
 		return false
 	}
 	delete(m.sessions, id)
-	m.reg.Gauge("sessions_active").Set(float64(len(m.sessions)))
+	m.dropGroupLocked(s)
+	m.gaugesLocked()
 	return true
 }
 
@@ -114,11 +142,12 @@ func (m *manager) sweep() int {
 		s.mu.Unlock()
 		if idle {
 			delete(m.sessions, id)
+			m.dropGroupLocked(s)
 			evicted++
 		}
 	}
 	if evicted > 0 {
-		m.reg.Gauge("sessions_active").Set(float64(len(m.sessions)))
+		m.gaugesLocked()
 		m.reg.Counter("sessions_expired_total").Add(int64(evicted))
 	}
 	return evicted

@@ -42,6 +42,10 @@ type Config struct {
 	MaxSessions int
 	// SessionTTL evicts sessions idle longer than this (default 30m).
 	SessionTTL time.Duration
+	// Parallel is the default per-session worker bounds, used by sessions
+	// whose create request carries no "parallelism" object (zero = one
+	// worker per CPU). Results are bit-identical for any bounds.
+	Parallel resolve.Parallelism
 	// Registry collects service and per-stage pipeline metrics, rendered
 	// by GET /metrics. Nil creates a private registry.
 	Registry *obs.Registry
@@ -76,6 +80,7 @@ type Server struct {
 	slowLog        obs.Sink
 	slowThreshold  time.Duration
 	stallThreshold time.Duration
+	defaultPar     resolve.Parallelism
 
 	httpServer *http.Server
 	sweepStop  chan struct{}
@@ -118,6 +123,7 @@ func New(cfg Config) (*Server, error) {
 		slowLog:        cfg.SlowLog,
 		slowThreshold:  cfg.SlowRequestThreshold,
 		stallThreshold: cfg.RetrainStallThreshold,
+		defaultPar:     cfg.Parallel,
 		mgr:            newManager(cfg.MaxSessions, cfg.SessionTTL, cfg.Registry),
 		mux:            http.NewServeMux(),
 		sweepStop:      make(chan struct{}),
@@ -221,7 +227,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("query is required"))
 		return
 	}
-	cfg, err := sessionConfig(req)
+	cfg, err := sessionConfig(req, s.defaultPar)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -257,6 +263,8 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		result:   result,
 		name:     cfg.Name(),
 		scope:    scope,
+		group:    inner.ComponentSignature(),
+		par:      effectiveParallelism(cfg),
 		done:     inner.Done(),
 	}
 	if err := s.mgr.add(sess); err != nil {
@@ -279,7 +287,7 @@ func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		writeError(w, http.StatusNotFound, errUnknownSession)
 		return
 	}
 	sess.mu.Lock()
@@ -313,7 +321,7 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		writeError(w, http.StatusNotFound, errUnknownSession)
 		return
 	}
 	var req AnswerRequest
@@ -323,7 +331,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 	v, ok := s.udb.VarFor(req.Table, req.Index)
 	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown tuple %s[%d]", req.Table, req.Index))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: no tuple %s[%d]", resolve.ErrUnknownVariable, req.Table, req.Index))
 		return
 	}
 	sess.mu.Lock()
@@ -374,7 +382,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		writeError(w, http.StatusNotFound, errUnknownSession)
 		return
 	}
 	sess.mu.Lock()
@@ -393,7 +401,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if !s.mgr.remove(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		writeError(w, http.StatusNotFound, errUnknownSession)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -426,15 +434,36 @@ func (s *Server) info(sess *session) SessionInfo {
 func (s *Server) infoLocked(sess *session) SessionInfo {
 	stats := sess.inner.Stats()
 	return SessionInfo{
-		ID:           sess.id,
-		Strategy:     sess.name,
-		Rows:         len(sess.result.Rows),
-		Probes:       stats.Probes,
-		KnownReused:  stats.KnownReused,
-		Done:         sess.inner.Done(),
-		CreatedUnix:  sess.created.Unix(),
-		LastUsedUnix: sess.lastUsed.Unix(),
+		ID:             sess.id,
+		Strategy:       sess.name,
+		Rows:           len(sess.result.Rows),
+		Probes:         stats.Probes,
+		KnownReused:    stats.KnownReused,
+		Done:           sess.inner.Done(),
+		Components:     sess.inner.Components(),
+		ComponentGroup: sess.group,
+		Parallelism:    sess.par,
+		CreatedUnix:    sess.created.Unix(),
+		LastUsedUnix:   sess.lastUsed.Unix(),
 	}
+}
+
+// effectiveParallelism renders the worker bounds a config resolves to on
+// the wire — the deprecated forest_workers field folds into the new shape,
+// so responses always emit the current contract.
+func effectiveParallelism(cfg resolve.Config) ParallelismJSON {
+	p := ParallelismJSON{
+		Forest:  cfg.Parallel.Forest,
+		Rescore: cfg.Parallel.Rescore,
+		Shards:  cfg.Parallel.Shards,
+	}
+	if p.Forest == 0 {
+		p.Forest = cfg.ForestWorkers
+	}
+	if p.Rescore == 0 {
+		p.Rescore = cfg.RescoreWorkers
+	}
+	return p
 }
 
 // tupleValues renders the referenced tuple's column values.
@@ -452,9 +481,18 @@ func (s *Server) tupleValues(ref uncertain.TupleRef) []string {
 }
 
 // sessionConfig maps API names onto a resolve.Config (the same taxonomy
-// the public qres options use).
-func sessionConfig(req CreateSessionRequest) (resolve.Config, error) {
-	cfg := resolve.Config{Seed: req.Seed, Trees: req.Trees, ForestWorkers: req.ForestWorkers}
+// the public qres options use). def is the server's default worker bounds
+// for requests without a parallelism object; the deprecated forest_workers
+// field is still honored when that object leaves the dimension unset.
+func sessionConfig(req CreateSessionRequest, def resolve.Parallelism) (resolve.Config, error) {
+	cfg := resolve.Config{Seed: req.Seed, Trees: req.Trees,
+		ForestWorkers: req.ForestWorkers, Parallel: def}
+	if p := req.Parallelism; p != nil {
+		cfg.Parallel = resolve.Parallelism{Forest: p.Forest, Rescore: p.Rescore, Shards: p.Shards}
+	}
+	if req.Incremental != nil && !*req.Incremental {
+		cfg.DisableIncremental = true
+	}
 	switch strings.ToLower(req.Strategy) {
 	case "", "general":
 		cfg.Utility = resolve.General{}
@@ -507,8 +545,14 @@ func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError renders the stable error contract: HTTP status plus an
+// {"error": {"code", "message"}} body, with the code resolved from the
+// error's typed identity (errors.Is against the resolution sentinels).
 func writeError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: ErrorBody{
+		Code:    errorCode(err, code),
+		Message: err.Error(),
+	}})
 }

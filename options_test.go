@@ -1,0 +1,118 @@
+package qres_test
+
+import (
+	"errors"
+	"testing"
+
+	"qres"
+)
+
+// WithParallelism and the deprecated per-dimension wrappers must produce
+// identical resolutions: the consolidated option is a pure re-plumbing of
+// the same knobs, and bit-identical results for any worker count is part
+// of its contract.
+func TestWithParallelismEquivalence(t *testing.T) {
+	run := func(opts ...qres.Option) *qres.Resolution {
+		db := buildPaperDB(t)
+		res, err := db.Query(paperSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orc := randomOracle(db, 0.5, 33)
+		opts = append(opts,
+			qres.WithStrategy("general"), qres.WithLearning("offline"),
+			qres.WithTrees(10), qres.WithSeed(4))
+		out, err := db.Resolve(res, orc, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	base := run()
+	cases := map[string][]qres.Option{
+		"deprecated wrapper":  {qres.WithForestWorkers(2)},
+		"consolidated option": {qres.WithParallelism(qres.Parallelism{Forest: 2})},
+		"serial everything":   {qres.WithParallelism(qres.Parallelism{Forest: 1, Rescore: 1, Shards: 1})},
+		"wide everything":     {qres.WithParallelism(qres.Parallelism{Forest: 4, Rescore: 4, Shards: 8})},
+	}
+	for name, opts := range cases {
+		out := run(opts...)
+		if out.Probes != base.Probes {
+			t.Errorf("%s: %d probes, want %d", name, out.Probes, base.Probes)
+		}
+		for i := range base.ProbedTuples {
+			if out.ProbedTuples[i] != base.ProbedTuples[i] {
+				t.Fatalf("%s: probe %d = %v, want %v", name, i, out.ProbedTuples[i], base.ProbedTuples[i])
+			}
+		}
+	}
+}
+
+// The exported sentinel errors must surface through errors.Is at the
+// public API boundary — they are the documented error contract.
+func TestSentinelErrors(t *testing.T) {
+	db := buildPaperDB(t)
+	res, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := randomOracle(db, 0.5, 21)
+	sess, err := db.NewSession(res, orc, qres.WithStrategy("general"), qres.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sess.Resolution(); !errors.Is(err, qres.ErrSessionNotDone) {
+		t.Errorf("Resolution before done: %v, want ErrSessionNotDone", err)
+	}
+
+	// An unknown tuple in an option must wrap ErrUnknownVariable.
+	db2 := buildPaperDB(t)
+	res2, _ := db2.Query(paperSQL)
+	_, err = db2.Resolve(res2, randomOracle(db2, 0.5, 21),
+		qres.WithKnownAnswer(qres.TupleRef{Table: "NoSuchTable", Index: 0}, true))
+	if !errors.Is(err, qres.ErrUnknownVariable) {
+		t.Errorf("unknown tuple ref: %v, want ErrUnknownVariable", err)
+	}
+
+	// Submitting with no probe outstanding: ErrNoProbePending.
+	if _, err := sess.SubmitAnswer(qres.TupleRef{Table: "Roles", Index: 0}, true); !errors.Is(err, qres.ErrNoProbePending) {
+		t.Errorf("submit with no probe outstanding: %v, want ErrNoProbePending", err)
+	}
+
+	// Submitting for a tuple other than the outstanding probe: ErrProbeMismatch.
+	probe, done, err := sess.NextProbe()
+	if err != nil || done {
+		t.Fatalf("NextProbe: done=%t err=%v", done, err)
+	}
+	other := qres.TupleRef{Table: "Roles", Index: 0}
+	if probe.Ref == other {
+		other.Index = 1
+	}
+	if _, err := sess.SubmitAnswer(other, true); !errors.Is(err, qres.ErrProbeMismatch) {
+		t.Errorf("submit for wrong tuple: %v, want ErrProbeMismatch", err)
+	}
+	if _, err := sess.SubmitAnswer(probe.Ref, true); err != nil {
+		t.Fatal(err)
+	}
+
+	for !sess.Done() {
+		if _, _, err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Submitting after resolution completes: ErrSessionDone.
+	if _, err := sess.SubmitAnswer(probe.Ref, true); !errors.Is(err, qres.ErrSessionDone) {
+		t.Errorf("submit after done: %v, want ErrSessionDone", err)
+	}
+	if _, err := sess.Resolution(); err != nil {
+		t.Errorf("Resolution after done: %v", err)
+	}
+	if sess.Components() < 1 {
+		t.Errorf("Components() = %d, want >= 1", sess.Components())
+	}
+	if sig := sess.ComponentSignature(); len(sig) != 16 {
+		t.Errorf("ComponentSignature() = %q, want 16 hex chars", sig)
+	}
+}

@@ -98,7 +98,7 @@ func (r *Result) String() string {
 func (db *DB) varFor(ref TupleRef) (boolexpr.Var, error) {
 	v, ok := db.udb.VarFor(ref.Table, ref.Index)
 	if !ok {
-		return 0, fmt.Errorf("qres: unknown tuple %s", ref)
+		return 0, fmt.Errorf("%w: no tuple %s", ErrUnknownVariable, ref)
 	}
 	return v, nil
 }

@@ -106,10 +106,41 @@ func WithTrees(n int) Option {
 	return func(o *options) { o.cfg.Trees = n }
 }
 
+// Parallelism bounds worker counts per parallel dimension of a resolution
+// session. The zero value of every dimension means one worker per CPU; 1
+// means serial. Results — trained models, probe sequences, resolved answer
+// sets — are bit-identical for any combination of worker counts, so these
+// knobs trade only latency, never outcomes.
+type Parallelism struct {
+	// Forest bounds forest-training parallelism in the Learner.
+	Forest int
+	// Rescore bounds incremental-rescore parallelism in the utility caches.
+	Rescore int
+	// Shards bounds how many connected components are scored concurrently
+	// when the workset splits (component-sharded probe selection).
+	Shards int
+}
+
+// WithParallelism bounds every parallel dimension of the session in one
+// option, replacing the per-dimension options (WithForestWorkers, ...).
+// Dimensions left at zero default to one worker per CPU.
+func WithParallelism(p Parallelism) Option {
+	return func(o *options) {
+		o.cfg.Parallel = resolve.Parallelism{
+			Forest:  p.Forest,
+			Rescore: p.Rescore,
+			Shards:  p.Shards,
+		}
+	}
+}
+
 // WithForestWorkers bounds forest-training parallelism in the Learner
 // (0 = one worker per CPU, 1 = serial). Trained models — and hence probe
 // sequences — are bit-identical for any value, so the knob trades only
 // training latency, never results.
+//
+// Deprecated: use WithParallelism(Parallelism{Forest: n}). This wrapper is
+// honored only while Parallelism's Forest dimension is unset.
 func WithForestWorkers(n int) Option {
 	return func(o *options) { o.cfg.ForestWorkers = n }
 }

@@ -1,7 +1,6 @@
 package qres
 
 import (
-	"errors"
 	"fmt"
 
 	"qres/internal/obs"
@@ -163,11 +162,22 @@ func (s *Session) Status() []RowStatus {
 // Probes returns the number of verifications issued so far.
 func (s *Session) Probes() int { return s.inner.Stats().Probes }
 
-// Resolution finalizes the session. It is an error to call it before the
-// session is done; drive Step (or Finish) to completion first.
+// Components returns the number of connected components the session's
+// undecided provenance splits into. Components share no variables, so each
+// is resolved by its own shard when there is more than one (see
+// WithParallelism's Shards dimension).
+func (s *Session) Components() int { return s.inner.Components() }
+
+// ComponentSignature fingerprints the session's component structure. Two
+// sessions over the same query and repository state share a signature; the
+// serving layer uses it to group such sessions onto one shard group.
+func (s *Session) ComponentSignature() string { return s.inner.ComponentSignature() }
+
+// Resolution finalizes the session. Calling it before the session is done
+// returns ErrSessionNotDone; drive Step (or Finish) to completion first.
 func (s *Session) Resolution() (*Resolution, error) {
 	if !s.inner.Done() {
-		return nil, errors.New("qres: session not finished; call Step or Finish until done")
+		return nil, ErrSessionNotDone
 	}
 	out, err := s.inner.Run() // no-op loop; collects the outcome
 	if err != nil {
