@@ -2,6 +2,7 @@ package resolve
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -167,6 +168,52 @@ func TestStoreRepairsTornWALOnRecovery(t *testing.T) {
 		t.Error("mid-file WAL corruption accepted")
 	}
 	if got, err := os.ReadFile(filepath.Join(dir2, walFile)); err != nil || string(got) != damaged {
+		t.Errorf("damaged WAL modified by failed recovery: %q", got)
+	}
+}
+
+func TestStoreWALCorruptionErrorLocatesDamage(t *testing.T) {
+	// Mid-file damage is reported as a WALCorruptionError carrying the
+	// byte offset of the damaged line and the index of the record it
+	// would have held, so an operator can find (and decide about) the
+	// damage without a hex dump.
+	reg := boolexpr.NewRegistry()
+	reg.Intern("facts[0]")
+	name := reg.Name
+	resolveFn := func(n string) (boolexpr.Var, bool) { return reg.Lookup(n) }
+
+	dir := t.TempDir()
+	good1 := `{"var":"facts[0]","meta":{"source":"x"},"answer":true}` + "\n"
+	bad := "}}corrupt{{" + "\n"
+	good2 := `{"var":"facts[0]","meta":{"source":"y"},"answer":false}` + "\n"
+	damaged := good1 + bad + good2
+	walPath := filepath.Join(dir, walFile)
+	if err := os.WriteFile(walPath, []byte(damaged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err := OpenStore(dir, name, resolveFn)
+	if err == nil {
+		t.Fatal("mid-file WAL corruption accepted")
+	}
+	var ce *WALCorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v (type %T) does not wrap *WALCorruptionError", err, err)
+	}
+	if ce.Path != walPath {
+		t.Errorf("Path = %q, want %q", ce.Path, walPath)
+	}
+	if want := int64(len(good1)); ce.Offset != want {
+		t.Errorf("Offset = %d, want %d", ce.Offset, want)
+	}
+	if ce.Record != 1 {
+		t.Errorf("Record = %d, want 1", ce.Record)
+	}
+	if ce.Err == nil {
+		t.Error("Err is nil, want the underlying decode failure")
+	}
+	// Reporting must not modify the file.
+	if got, rerr := os.ReadFile(walPath); rerr != nil || string(got) != damaged {
 		t.Errorf("damaged WAL modified by failed recovery: %q", got)
 	}
 }

@@ -136,6 +136,31 @@ func OpenStore(dir string, nameFn func(boolexpr.Var) string, resolveFn func(stri
 	return &Store{dir: dir, nameFn: nameFn, wal: wal, walRecs: walRecs}, repo, nil
 }
 
+// WALCorruptionError reports mid-file WAL damage — a malformed line with
+// well-formed lines after it, which a crash mid-append cannot produce —
+// with enough location to act on: the file, the byte offset of the damaged
+// line, and the index of the record it held.
+type WALCorruptionError struct {
+	// Path is the damaged WAL file.
+	Path string
+	// Offset is the byte offset of the damaged line's first byte.
+	Offset int64
+	// Record is the zero-based index, within the file, of the record the
+	// damaged line would have held.
+	Record int
+	// Err is the underlying decode failure.
+	Err error
+}
+
+// Error renders the location and cause.
+func (e *WALCorruptionError) Error() string {
+	return fmt.Sprintf("corrupt WAL %s: record %d at byte offset %d: %v",
+		e.Path, e.Record, e.Offset, e.Err)
+}
+
+// Unwrap exposes the underlying decode failure to errors.Is/As.
+func (e *WALCorruptionError) Unwrap() error { return e.Err }
+
 // repairWAL truncates the log at path to the end of its last complete,
 // well-formed line. After a crash mid-append the file can end in a torn
 // fragment; replay skips the fragment, but appends must not be allowed to
@@ -146,7 +171,9 @@ func OpenStore(dir string, nameFn func(boolexpr.Var) string, resolveFn func(stri
 // trailing newline in one write and acknowledges only after fsync, so a
 // line missing its terminator (or undecodable) was never acknowledged.
 // Only a trailing tear is repaired; damage followed by further well-formed
-// lines is left untouched for the loader to report as corruption.
+// lines is never a tear — it is reported as a WALCorruptionError carrying
+// the byte offset and record index of the damaged line, with the file left
+// untouched.
 func repairWAL(path string) error {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -156,7 +183,9 @@ func repairWAL(path string) error {
 		return err
 	}
 	validEnd := 0
+	records := 0
 	for off := 0; off < len(data); {
+		lineStart := off
 		nl := bytes.IndexByte(data[off:], '\n')
 		if nl < 0 {
 			break // unterminated trailing fragment
@@ -165,12 +194,18 @@ func repairWAL(path string) error {
 		off += nl + 1
 		if len(line) > 0 {
 			var jp jsonProbe
-			if json.Unmarshal(line, &jp) != nil {
+			if jerr := json.Unmarshal(line, &jp); jerr != nil {
 				if len(bytes.TrimSpace(data[off:])) > 0 {
-					return nil // mid-file damage, not a trailing tear
+					return &WALCorruptionError{
+						Path:   path,
+						Offset: int64(lineStart),
+						Record: records,
+						Err:    jerr,
+					}
 				}
 				break
 			}
+			records++
 		}
 		validEnd = off
 	}

@@ -1,5 +1,7 @@
 package server
 
+import "qres/internal/store"
+
 // Wire types of the resolution service's HTTP/JSON API (version v1).
 //
 // A resolution session is created over a query and a strategy; a remote
@@ -126,6 +128,24 @@ type RowStatusJSON struct {
 type StatusResponse struct {
 	SessionInfo
 	RowStatus []RowStatusJSON `json:"row_status"`
+}
+
+// StoreStatusResponse (GET /v1/store) describes the persistence engine
+// behind the shared repository.
+type StoreStatusResponse struct {
+	// Persistent reports whether answers are durably logged at all.
+	Persistent bool `json:"persistent"`
+	// Engine names the storage engine ("segmented", "flat"), empty when
+	// persistence is disabled.
+	Engine string `json:"engine,omitempty"`
+	// WALRecords is the replay backlog a restart right now would face.
+	WALRecords int `json:"wal_records"`
+	// RepositoryRecords is the size of the in-memory shared repository.
+	RepositoryRecords int `json:"repository_records"`
+	// Stats carries the segmented engine's full counters (segment
+	// inventory, group-commit and compaction totals); nil for other
+	// engines.
+	Stats *store.Stats `json:"stats,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

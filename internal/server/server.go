@@ -23,8 +23,26 @@ import (
 	"qres/internal/obs"
 	"qres/internal/resolve"
 	"qres/internal/sqlparse"
+	"qres/internal/store"
 	"qres/internal/uncertain"
 )
+
+// ProbeStore is the durability contract the service needs from a storage
+// engine: the answer path pairs each repository add with a WAL append
+// inside one Update, graceful shutdown snapshots and closes. Both the flat
+// resolve.Store and the segmented store.Store satisfy it.
+type ProbeStore interface {
+	// Update runs fn with an append function; the appended records are
+	// durable when Update returns.
+	Update(fn func(append func(...resolve.ProbeRecord) error) error) error
+	// Snapshot persists the repository so recovery no longer needs the
+	// records the WAL held at the time of the call.
+	Snapshot(repo *resolve.Repository) error
+	// WALRecords reports the records a restart right now would replay.
+	WALRecords() int
+	// Close releases the store without snapshotting.
+	Close() error
+}
 
 // Config assembles a resolution service.
 type Config struct {
@@ -36,7 +54,7 @@ type Config struct {
 	Repo *resolve.Repository
 	// Store persists the shared repository (WAL + snapshot). Nil disables
 	// persistence.
-	Store *resolve.Store
+	Store ProbeStore
 	// MaxSessions caps concurrently live sessions; creation beyond the
 	// cap returns 429 (default 64).
 	MaxSessions int
@@ -71,7 +89,7 @@ type Config struct {
 type Server struct {
 	udb   *uncertain.DB
 	repo  *resolve.Repository
-	store *resolve.Store
+	store ProbeStore
 	reg   *obs.Registry
 	mgr   *manager
 	mux   *http.ServeMux
@@ -145,6 +163,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/status", s.instrument("status", s.handleStatus))
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("status", s.handleStatus))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.handleDeleteSession))
+	s.mux.HandleFunc("GET /v1/store", s.instrument("store_status", s.handleStoreStatus))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 }
@@ -377,6 +396,27 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		s.reg.Gauge("wal_records").Set(float64(s.store.WALRecords()))
 	}
 	writeJSON(w, AnswerResponse{Done: done, Probes: sess.probes})
+}
+
+// handleStoreStatus reports the persistence engine behind the shared
+// repository. The segmented engine additionally exposes its full stats
+// (segments, group-commit counters, compactions); the flat engine reports
+// just its WAL backlog.
+func (s *Server) handleStoreStatus(w http.ResponseWriter, r *http.Request) {
+	resp := StoreStatusResponse{
+		Persistent:        s.store != nil,
+		RepositoryRecords: s.repo.Len(),
+	}
+	if s.store != nil {
+		resp.Engine = "flat"
+		resp.WALRecords = s.store.WALRecords()
+		if st, ok := s.store.(interface{ Stats() store.Stats }); ok {
+			stats := st.Stats()
+			resp.Engine = stats.Engine
+			resp.Stats = &stats
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -17,6 +17,7 @@ import (
 	"qres/internal/engine"
 	"qres/internal/resolve"
 	"qres/internal/sqlparse"
+	"qres/internal/store"
 	"qres/internal/testdb"
 	"qres/internal/uncertain"
 )
@@ -475,6 +476,121 @@ func TestCrashRestartRecovery(t *testing.T) {
 	}
 	if repo3.Len() != repo2.Len() {
 		t.Errorf("snapshot lost records: %d vs %d", repo3.Len(), repo2.Len())
+	}
+}
+
+// TestSegmentedStoreCrashRestart runs the crash-restart scenario on the
+// segmented storage engine: acknowledged answers survive a crash-
+// equivalent close, the restarted session reuses them, and the /v1/store
+// endpoint reports the engine's state along the way.
+func TestSegmentedStoreCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	udb := testdb.PaperUncertainDB()
+	gt := uncertain.GenerateFixed(udb, 0.5, 11)
+	opts := store.Options{NameFn: udb.Registry().Name, ResolveFn: udb.Registry().Lookup}
+
+	st, repo, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{DB: udb, Repo: repo, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv)
+
+	// Before any answers: persistence on, segmented engine, empty WAL.
+	var status StoreStatusResponse
+	mustJSON(t, "GET", hts.URL+"/v1/store", nil, &status, http.StatusOK)
+	if !status.Persistent || status.Engine != "segmented" {
+		t.Fatalf("store status = %+v, want persistent segmented", status)
+	}
+	if status.Stats == nil || status.Stats.Segments == 0 {
+		t.Fatalf("store status missing segmented stats: %+v", status)
+	}
+
+	create := CreateSessionRequest{Query: paperSQL, Strategy: "general", Learning: "online", Seed: 21}
+	var info SessionInfo
+	mustJSON(t, "POST", hts.URL+"/v1/sessions", create, &info, http.StatusCreated)
+	const partial = 3
+	for i := 0; i < partial; i++ {
+		var pr ProbeResponse
+		mustJSON(t, "GET", hts.URL+"/v1/sessions/"+info.ID+"/probe", nil, &pr, http.StatusOK)
+		if pr.Done {
+			t.Fatalf("session done after only %d answers", i)
+		}
+		ans, err := gtAnswer(udb, gt, pr.Probe.Table, pr.Probe.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustJSON(t, "POST", hts.URL+"/v1/sessions/"+info.ID+"/answer",
+			AnswerRequest{Table: pr.Probe.Table, Index: pr.Probe.Index, Answer: ans}, nil, http.StatusOK)
+	}
+	mustJSON(t, "GET", hts.URL+"/v1/store", nil, &status, http.StatusOK)
+	if status.WALRecords != partial {
+		t.Errorf("store status WALRecords = %d, want %d", status.WALRecords, partial)
+	}
+	if status.Stats.Fsyncs == 0 {
+		t.Errorf("store status reports no fsyncs after %d answers", partial)
+	}
+	hts.Close()
+	close(srv.sweepStop) // stop the janitor without snapshotting
+	<-srv.sweepDone
+	if err := st.Close(); err != nil { // crash-equivalent: no snapshot
+		t.Fatal(err)
+	}
+
+	st2, repo2, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo2.Len() != partial {
+		t.Fatalf("recovered %d records, want %d", repo2.Len(), partial)
+	}
+	srv2, err := New(Config{DB: udb, Repo: repo2, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts2 := httptest.NewServer(srv2)
+	var info2 SessionInfo
+	mustJSON(t, "POST", hts2.URL+"/v1/sessions", create, &info2, http.StatusCreated)
+	if _, err := driveSession(hts2.URL, info2.ID, udb, gt); err != nil {
+		t.Fatal(err)
+	}
+	var sess StatusResponse
+	mustJSON(t, "GET", hts2.URL+"/v1/sessions/"+info2.ID+"/status", nil, &sess, http.StatusOK)
+	if sess.KnownReused < partial {
+		t.Errorf("restarted session reused %d recovered answers, want >= %d", sess.KnownReused, partial)
+	}
+
+	// Graceful shutdown snapshots; the third open has no tail to replay.
+	hts2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st3, repo3, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if st3.WALRecords() != 0 {
+		t.Errorf("WAL holds %d records after snapshot, want 0", st3.WALRecords())
+	}
+	if repo3.Len() != repo2.Len() {
+		t.Errorf("snapshot lost records: %d vs %d", repo3.Len(), repo2.Len())
+	}
+}
+
+// TestStoreStatusWithoutPersistence reports a non-persistent service
+// truthfully.
+func TestStoreStatusWithoutPersistence(t *testing.T) {
+	_, base := startServer(t, Config{})
+	var status StoreStatusResponse
+	mustJSON(t, "GET", base+"/v1/store", nil, &status, http.StatusOK)
+	if status.Persistent || status.Engine != "" || status.Stats != nil {
+		t.Errorf("store status = %+v, want non-persistent with no engine", status)
 	}
 }
 

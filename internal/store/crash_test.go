@@ -1,0 +1,198 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"qres/internal/resolve"
+)
+
+// Crash-recovery property test. The durability contract is exactly "a
+// committed prefix": whatever a crash does to the live segment's tail —
+// truncation at any byte offset — and whatever happens to the sidecars —
+// pure acceleration, deletable at will — recovery must produce some prefix
+// of the committed record sequence, never a gap, a reordering, or a
+// phantom record; and everything below the snapshot watermark plus every
+// record in a sealed segment must survive in full.
+
+// copyDir clones a store directory so each crash scenario mutates a fresh
+// copy.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		in, err := os.Open(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.Create(filepath.Join(dst, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+		in.Close()
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// assertPrefix checks that repo holds exactly the first repo.Len() records
+// of committed, in order, and at least min of them.
+func assertPrefix(t *testing.T, repo *resolve.Repository, committed []resolve.ProbeRecord, min int, scenario string) {
+	t.Helper()
+	got := repo.Records()
+	if len(got) > len(committed) {
+		t.Fatalf("%s: recovered %d records, committed only %d", scenario, len(got), len(committed))
+	}
+	if len(got) < min {
+		t.Fatalf("%s: recovered %d records, want >= %d", scenario, len(got), min)
+	}
+	for i, rec := range got {
+		want := committed[i]
+		if rec.Answer != want.Answer || rec.HasVar != want.HasVar ||
+			(rec.HasVar && rec.Var != want.Var) ||
+			rec.Meta["i"] != want.Meta["i"] {
+			t.Fatalf("%s: record %d diverges: got %+v, want %+v", scenario, i, rec, want)
+		}
+	}
+}
+
+func TestCrashRecoveryYieldsCommittedPrefix(t *testing.T) {
+	env := newTestEnv()
+	base := t.TempDir()
+	st, repo, err := Open(base, Options{
+		NameFn: env.opts.NameFn, ResolveFn: env.opts.ResolveFn,
+		SegmentBytes: 512, // several sealed segments
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := env.probeSeq(40)
+	for i, rec := range committed {
+		addOne(t, st, repo, rec)
+		if i == 15 {
+			// A mid-stream snapshot: records below its watermark must
+			// survive every scenario.
+			if err := st.Snapshot(repo); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, err := listSegments(base)
+	if err != nil || len(seqs) < 2 {
+		t.Fatalf("want >= 2 segments, got %v (err %v)", seqs, err)
+	}
+	liveSeq := seqs[len(seqs)-1]
+	liveInfo, err := os.Stat(segmentPath(base, liveSeq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records in sealed segments (everything but the live segment's) are
+	// fully synced and must survive any live-segment damage.
+	sealedFloor := 0
+	for _, seq := range seqs[:len(seqs)-1] {
+		if meta, ok := readSidecar(base, seq); ok {
+			if end := int(meta.endIndex()); end > sealedFloor {
+				sealedFloor = end
+			}
+		}
+	}
+	if sealedFloor == 0 {
+		t.Fatal("no sealed sidecar found")
+	}
+
+	t.Run("TruncateLiveSegment", func(t *testing.T) {
+		// Every truncation point of the live segment, header included.
+		for size := int64(0); size < liveInfo.Size(); size++ {
+			dir := copyDir(t, base)
+			if err := os.Truncate(segmentPath(dir, liveSeq), size); err != nil {
+				t.Fatal(err)
+			}
+			st2, repo2, err := Open(dir, env.opts)
+			if err != nil {
+				t.Fatalf("truncate at %d: %v", size, err)
+			}
+			assertPrefix(t, repo2, committed, sealedFloor, "truncate at "+strconv.FormatInt(size, 10))
+			st2.Close()
+		}
+	})
+
+	t.Run("DeleteSidecars", func(t *testing.T) {
+		// Sidecars are pure acceleration: delete each one, then all of
+		// them, and recovery still restores every committed record.
+		scenarios := make([][]uint64, 0, len(seqs)+1)
+		for _, seq := range seqs {
+			scenarios = append(scenarios, []uint64{seq})
+		}
+		scenarios = append(scenarios, seqs) // all at once
+		for _, victims := range scenarios {
+			dir := copyDir(t, base)
+			for _, seq := range victims {
+				os.Remove(sidecarPath(dir, seq))
+			}
+			st2, repo2, err := Open(dir, env.opts)
+			if err != nil {
+				t.Fatalf("sidecars %v deleted: %v", victims, err)
+			}
+			assertPrefix(t, repo2, committed, len(committed), "sidecars deleted")
+			st2.Close()
+		}
+	})
+
+	t.Run("TruncateAndDeleteSidecars", func(t *testing.T) {
+		// Both at once, at a sample of truncation points.
+		for size := int64(0); size < liveInfo.Size(); size += 7 {
+			dir := copyDir(t, base)
+			if err := os.Truncate(segmentPath(dir, liveSeq), size); err != nil {
+				t.Fatal(err)
+			}
+			for _, seq := range seqs {
+				os.Remove(sidecarPath(dir, seq))
+			}
+			st2, repo2, err := Open(dir, env.opts)
+			if err != nil {
+				t.Fatalf("truncate at %d + no sidecars: %v", size, err)
+			}
+			assertPrefix(t, repo2, committed, sealedFloor, "truncate+delete at "+strconv.FormatInt(size, 10))
+			st2.Close()
+		}
+	})
+
+	t.Run("RepeatedCrashes", func(t *testing.T) {
+		// Crash, recover, append, crash again: each recovery must keep
+		// the chain consistent for the next one.
+		dir := copyDir(t, base)
+		total := committed
+		for round := 0; round < 3; round++ {
+			st2, repo2, err := Open(dir, env.opts)
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			assertPrefix(t, repo2, total, len(total), "round "+strconv.Itoa(round))
+			rec := resolve.ProbeRecord{
+				Meta:   map[string]string{"i": "extra-" + strconv.Itoa(round)},
+				Answer: true,
+			}
+			addOne(t, st2, repo2, rec)
+			total = append(total, rec)
+			if err := st2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qres/internal/obs"
+	"qres/internal/resolve"
+)
+
+func TestStoreMetricsReachThePrometheusSurface(t *testing.T) {
+	// A store opened with a registry must land every store_* series on the
+	// same text exposition the server's /metrics renders.
+	env := newTestEnv()
+	reg := obs.NewRegistry()
+	st, repo, err := Open(t.TempDir(), Options{
+		NameFn: env.opts.NameFn, ResolveFn: env.opts.ResolveFn,
+		SegmentBytes: 256, // force a rotation so the sealed counter moves
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range env.probeSeq(30) {
+		addOne(t, st, repo, rec)
+	}
+	if err := st.Snapshot(repo); err != nil {
+		t.Fatal(err)
+	}
+	addOne(t, st, repo, resolve.ProbeRecord{Meta: map[string]string{"i": "tail"}, Answer: true})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteText(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"qres_store_fsync_seconds_count",
+		"qres_store_fsync_seconds_sum",
+		"qres_store_group_commit_batch_size_count",
+		"qres_store_wal_segments",
+		"qres_store_wal_bytes",
+		"qres_store_snapshot_records 30",
+		"qres_store_segments_sealed_total",
+		"qres_store_compactions_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestStoreWithoutRegistryIsSilent(t *testing.T) {
+	// No registry: every metric call must be a safe no-op.
+	env := newTestEnv()
+	st, repo, err := Open(t.TempDir(), env.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range env.probeSeq(5) {
+		addOne(t, st, repo, rec)
+	}
+	if err := st.Snapshot(repo); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

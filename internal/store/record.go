@@ -1,0 +1,307 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"qres/internal/boolexpr"
+	"qres/internal/resolve"
+)
+
+// On-disk framing. Every segment and snapshot file is a sequence of
+// frames:
+//
+//	[u32le payload length][u32le CRC-32C of payload][payload]
+//
+// The first payload byte is the frame type; the CRC covers the whole
+// payload including it, so a flipped bit anywhere in a frame is detected.
+// Frames are written whole (one buffered write per group-commit batch) and
+// never split across segments, so a crash leaves at worst a torn suffix:
+// a frame whose length prefix promises more bytes than the file holds, or
+// whose CRC does not match because the tail was only partially persisted.
+
+// Frame types.
+const (
+	frameSegmentHeader  = 0x01 // first frame of every WAL segment
+	frameRecord         = 0x02 // one probe record
+	frameSnapshotHeader = 0x03 // first frame of a snapshot file
+)
+
+// frameOverhead is the fixed per-frame cost: length + CRC prefixes.
+const frameOverhead = 8
+
+// maxFramePayload bounds a single frame; a length prefix beyond it is
+// corruption (or garbage read as a length), never a real record.
+const maxFramePayload = 16 << 20
+
+// castagnoli is the CRC-32C table used for all frame checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptionError reports damaged store data with its location: the file,
+// the byte offset of the damaged frame, and the index of the record it
+// holds (relative to the start of the file; header frames don't count).
+// Recovery returns it for damage it must not repair silently — anything
+// other than a torn suffix of the live segment.
+type CorruptionError struct {
+	// Path is the damaged file.
+	Path string
+	// Offset is the byte offset of the damaged frame's first byte.
+	Offset int64
+	// Record is the zero-based index, within the file, of the record the
+	// damaged frame would have held.
+	Record int
+	// Err is the underlying decode failure.
+	Err error
+}
+
+// Error renders the location and cause.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("store: corrupt data in %s: record %d at byte offset %d: %v",
+		e.Path, e.Record, e.Offset, e.Err)
+}
+
+// Unwrap exposes the underlying decode failure to errors.Is/As.
+func (e *CorruptionError) Unwrap() error { return e.Err }
+
+// appendFrame appends one frame with the given payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var pre [frameOverhead]byte
+	binary.LittleEndian.PutUint32(pre[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(pre[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, pre[:]...)
+	return append(buf, payload...)
+}
+
+// frameError distinguishes a torn suffix from in-place damage.
+type frameError struct {
+	torn bool // frame extends past EOF: the signature of a partial write
+	err  error
+}
+
+func (e *frameError) Error() string { return e.err.Error() }
+
+// readFrame decodes the frame starting at off, returning its payload and
+// the offset of the next frame. Incomplete frames (length prefix promising
+// bytes past EOF) report torn=true; CRC mismatches and insane lengths are
+// plain errors, because a fully-present frame that fails its checksum may
+// be either torn garbage or mid-file damage — the caller decides by
+// looking at what follows.
+func readFrame(data []byte, off int) (payload []byte, next int, ferr *frameError) {
+	if len(data)-off < frameOverhead {
+		return nil, 0, &frameError{torn: true, err: fmt.Errorf("truncated frame prefix (%d bytes)", len(data)-off)}
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	if n > maxFramePayload {
+		return nil, 0, &frameError{err: fmt.Errorf("frame length %d exceeds limit", n)}
+	}
+	if len(data)-off-frameOverhead < n {
+		return nil, 0, &frameError{torn: true, err: fmt.Errorf("frame promises %d payload bytes, file holds %d", n, len(data)-off-frameOverhead)}
+	}
+	want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	payload = data[off+frameOverhead : off+frameOverhead+n]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, 0, &frameError{err: fmt.Errorf("frame CRC mismatch (got %08x, want %08x)", got, want)}
+	}
+	if n == 0 {
+		return nil, 0, &frameError{err: fmt.Errorf("empty frame")}
+	}
+	return payload, off + frameOverhead + n, nil
+}
+
+// validFrameAt reports whether a well-formed frame starts at off. The
+// recovery scan uses it to tell a torn suffix (no valid frame anywhere
+// after the damage) from mid-file corruption (valid frames follow).
+func validFrameAt(data []byte, off int) bool {
+	_, _, ferr := readFrame(data, off)
+	return ferr == nil
+}
+
+// record is the decoded on-disk form of one probe record. The variable is
+// kept by registry name: names are the only identity that survives a
+// restart (variable IDs are allocation order in the registry).
+type record struct {
+	varName string
+	hasVar  bool
+	answer  bool
+	meta    map[string]string
+}
+
+// recordFromProbe converts an in-memory probe record for writing.
+func recordFromProbe(rec resolve.ProbeRecord, name func(boolexpr.Var) string) record {
+	r := record{answer: rec.Answer, meta: rec.Meta}
+	if rec.HasVar && name != nil {
+		r.varName = name(rec.Var)
+		r.hasVar = true
+	}
+	return r
+}
+
+// apply adds the record to a repository, binding the variable name back
+// through resolveFn when possible; unresolvable names degrade to
+// metadata-only training records, exactly as the JSONL loader does.
+func (r record) apply(repo *resolve.Repository, resolveFn func(string) (boolexpr.Var, bool)) {
+	if r.hasVar && resolveFn != nil {
+		if v, ok := resolveFn(r.varName); ok {
+			repo.AddVar(v, r.meta, r.answer)
+			return
+		}
+	}
+	repo.Add(r.meta, r.answer)
+}
+
+// Record payload flag bits.
+const (
+	recFlagHasVar = 1 << 0
+	recFlagAnswer = 1 << 1
+)
+
+// appendRecordPayload encodes a record payload:
+//
+//	0x02, flags, [uvarint len, varName], uvarint metaCount,
+//	{uvarint len, key, uvarint len, value}*
+//
+// Metadata entries are written in sorted key order, making the encoding —
+// and hence segment CRCs and sidecar byte counts — deterministic for a
+// given record stream.
+func appendRecordPayload(buf []byte, r record) []byte {
+	flags := byte(0)
+	if r.hasVar {
+		flags |= recFlagHasVar
+	}
+	if r.answer {
+		flags |= recFlagAnswer
+	}
+	buf = append(buf, frameRecord, flags)
+	if r.hasVar {
+		buf = appendString(buf, r.varName)
+	}
+	keys := make([]string, 0, len(r.meta))
+	for k := range r.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = appendString(buf, k)
+		buf = appendString(buf, r.meta[k])
+	}
+	return buf
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decodeRecordPayload parses a record payload (including its leading type
+// byte, which the caller has already checked).
+func decodeRecordPayload(payload []byte) (record, error) {
+	if len(payload) < 2 || payload[0] != frameRecord {
+		return record{}, fmt.Errorf("not a record payload")
+	}
+	flags := payload[1]
+	rest := payload[2:]
+	var r record
+	r.answer = flags&recFlagAnswer != 0
+	var err error
+	if flags&recFlagHasVar != 0 {
+		r.hasVar = true
+		if r.varName, rest, err = takeString(rest); err != nil {
+			return record{}, fmt.Errorf("record variable name: %w", err)
+		}
+	}
+	count, rest, err := takeUvarint(rest)
+	if err != nil {
+		return record{}, fmt.Errorf("record meta count: %w", err)
+	}
+	if count > uint64(len(rest)) { // each entry needs >= 1 byte
+		return record{}, fmt.Errorf("record meta count %d exceeds payload", count)
+	}
+	if count > 0 {
+		r.meta = make(map[string]string, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var k, v string
+		if k, rest, err = takeString(rest); err != nil {
+			return record{}, fmt.Errorf("record meta key: %w", err)
+		}
+		if v, rest, err = takeString(rest); err != nil {
+			return record{}, fmt.Errorf("record meta value: %w", err)
+		}
+		r.meta[k] = v
+	}
+	if len(rest) != 0 {
+		return record{}, fmt.Errorf("%d trailing bytes after record", len(rest))
+	}
+	return r, nil
+}
+
+// takeUvarint consumes one uvarint.
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad uvarint")
+	}
+	return v, b[n:], nil
+}
+
+// takeString consumes one length-prefixed string.
+func takeString(b []byte) (string, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("string length %d exceeds payload", n)
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// segmentHeader is the first frame of every WAL segment, making segments
+// self-describing: recovery learns the global index of a segment's first
+// record from the segment itself, even when every sidecar and every older
+// segment is gone.
+type segmentHeader struct {
+	seq        uint64 // segment sequence number (matches the file name)
+	firstIndex uint64 // global record index of the segment's first record
+}
+
+// appendSegmentHeaderPayload encodes a segment header payload.
+func appendSegmentHeaderPayload(buf []byte, h segmentHeader) []byte {
+	buf = append(buf, frameSegmentHeader)
+	buf = binary.LittleEndian.AppendUint64(buf, h.seq)
+	return binary.LittleEndian.AppendUint64(buf, h.firstIndex)
+}
+
+// decodeSegmentHeaderPayload parses a segment header payload.
+func decodeSegmentHeaderPayload(payload []byte) (segmentHeader, error) {
+	if len(payload) != 17 || payload[0] != frameSegmentHeader {
+		return segmentHeader{}, fmt.Errorf("not a segment header")
+	}
+	return segmentHeader{
+		seq:        binary.LittleEndian.Uint64(payload[1:9]),
+		firstIndex: binary.LittleEndian.Uint64(payload[9:17]),
+	}, nil
+}
+
+// snapshotHeader is the first frame of a snapshot file.
+type snapshotHeader struct {
+	records uint64 // record frames that follow
+}
+
+// appendSnapshotHeaderPayload encodes a snapshot header payload.
+func appendSnapshotHeaderPayload(buf []byte, h snapshotHeader) []byte {
+	buf = append(buf, frameSnapshotHeader)
+	return binary.LittleEndian.AppendUint64(buf, h.records)
+}
+
+// decodeSnapshotHeaderPayload parses a snapshot header payload.
+func decodeSnapshotHeaderPayload(payload []byte) (snapshotHeader, error) {
+	if len(payload) != 9 || payload[0] != frameSnapshotHeader {
+		return snapshotHeader{}, fmt.Errorf("not a snapshot header")
+	}
+	return snapshotHeader{records: binary.LittleEndian.Uint64(payload[1:9])}, nil
+}
