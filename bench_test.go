@@ -12,14 +12,18 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
 	"qres/internal/bench"
 	"qres/internal/boolexpr"
+	"qres/internal/datagen"
 	"qres/internal/engine"
 	"qres/internal/learn"
 	"qres/internal/resolve"
+	"qres/internal/sqlparse"
 	"qres/internal/testdb"
 	"qres/internal/uncertain"
 )
@@ -80,6 +84,92 @@ func BenchmarkProvenanceEvaluation(b *testing.B) {
 		if _, err := engine.Run(udb, plan); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngine measures SPJU evaluation on the join-heavy TPC-H-like
+// queries, comparing the pinned materializing executor (engine.RunReference,
+// the pre-streaming control) against the streaming executor (engine.Run:
+// predicate pushdown + Volcano iterators). Both run the same plans over the
+// same database and produce row-for-row identical results (the equivalence
+// tests in internal/engine enforce this), so ns/op is directly comparable.
+// The scale factor defaults to 0.02 and can be raised with QRES_ENGINE_SF
+// (EXPERIMENTS.md regenerates at 0.02 and 1); generation uses Lean mode so
+// large scale factors skip the metadata the engine never reads. After all
+// sub-benchmarks run, the per-query pairs are appended as one trajectory
+// point to results/BENCH_engine.json.
+func BenchmarkEngine(b *testing.B) {
+	sf := 0.02
+	if s := os.Getenv("QRES_ENGINE_SF"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			b.Fatalf("bad QRES_ENGINE_SF %q: %v", s, err)
+		}
+		sf = v
+	}
+	udb := datagen.TPCH(datagen.TPCHConfig{SF: sf, Seed: 7, Lean: true})
+	type measure struct{ ns, bytes float64 }
+	measures := make(map[string]map[string]measure)
+	queries := []string{"Q3", "Q10"}
+	for _, qname := range queries {
+		plan, err := sqlparse.ParseAndCompile(datagen.TPCHQueries()[qname], udb.Data())
+		if err != nil {
+			b.Fatalf("compile %s: %v", qname, err)
+		}
+		measures[qname] = make(map[string]measure)
+		for _, mode := range []struct {
+			name string
+			run  func() (*engine.Result, error)
+		}{
+			{"reference", func() (*engine.Result, error) { return engine.RunReference(udb, plan) }},
+			{"streaming", func() (*engine.Result, error) { return engine.Run(udb, plan) }},
+		} {
+			b.Run(qname+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := mode.run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Rows) == 0 {
+						b.Fatalf("%s returned no rows at SF %g", qname, sf)
+					}
+				}
+				b.StopTimer()
+				runtime.ReadMemStats(&after)
+				measures[qname][mode.name] = measure{
+					ns:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+					bytes: float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N),
+				}
+			})
+		}
+	}
+	point := map[string]any{
+		"date":         time.Now().UTC().Format("2006-01-02"),
+		"benchmark":    "engine",
+		"scale_factor": sf,
+		"tuples":       udb.Data().TotalTuples(),
+	}
+	for _, qname := range queries {
+		ref, str := measures[qname]["reference"], measures[qname]["streaming"]
+		if ref.ns == 0 || str.ns == 0 {
+			return // a sub-benchmark was filtered out; nothing to record
+		}
+		point[qname] = map[string]any{
+			"control_ns":      ref.ns,
+			"streaming_ns":    str.ns,
+			"speedup":         ref.ns / str.ns,
+			"control_bytes":   ref.bytes,
+			"streaming_bytes": str.bytes,
+			"alloc_ratio":     ref.bytes / str.bytes,
+		}
+	}
+	if err := appendBenchTrajectory(filepath.Join("results", "BENCH_engine.json"), point); err != nil {
+		b.Logf("recording trajectory point: %v", err)
 	}
 }
 

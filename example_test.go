@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"qres"
+	"qres/internal/engine"
+	"qres/internal/testdb"
 )
 
 // Example demonstrates the full workflow: build an uncertain database,
@@ -70,6 +72,37 @@ func ExampleResult_Provenance() {
 	// Output:
 	// widget: reviews[0] ∨ reviews[1]
 	// gadget: reviews[2]
+}
+
+// Example_queryEngine walks through the query engine on the paper's
+// running example: build an algebra plan, compare its shape with the
+// shape the rewrite pass executes (pushed selections render as Select*),
+// and run it over the uncertain database with provenance tracking. The
+// same rewritten plan is what `DB.Query` executes — `Result.PlanShape`
+// exposes the executed shape on the public API.
+func Example_queryEngine() {
+	udb := testdb.PaperUncertainDB()
+	plan := testdb.PaperQuery() // SELECT DISTINCT a.Acquired, e.Institute FROM ... WHERE ...
+
+	fmt.Println("plan:    ", engine.Shape(plan))
+	fmt.Println("executed:", engine.Shape(engine.Rewrite(plan)))
+
+	res, err := engine.Run(udb, plan)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Header())
+	for _, row := range res.Rows {
+		fmt.Printf("%s  ⟵  %s\n", row.Tuple, row.Prov.Format(udb.Registry()))
+	}
+	// Output:
+	// plan:     Distinct(Select(Join(Join(Scan,Scan),Scan)))
+	// executed: Distinct(Join(Join(Select*(Scan),Select*(Scan)),Scan))
+	// Acquired, Institute
+	// (A2Bdone, U. Melbourne)  ⟵  (acquisitions[0] ∧ roles[0] ∧ education[0]) ∨ (acquisitions[0] ∧ roles[1] ∧ education[1]) ∨ (acquisitions[0] ∧ roles[2] ∧ education[3])
+	// (A2Bdone, U. Sau Paolo)  ⟵  (acquisitions[0] ∧ roles[2] ∧ education[2])
+	// (microBarg, U. Sau Paolo)  ⟵  (acquisitions[1] ∧ roles[3] ∧ education[2]) ∨ (acquisitions[1] ∧ roles[4] ∧ education[4])
+	// (microBarg, U. Melbourne)  ⟵  (acquisitions[1] ∧ roles[3] ∧ education[3])
 }
 
 // ExampleSession_NextProbe drives a resolution through the asynchronous

@@ -18,6 +18,13 @@ type TPCHConfig struct {
 	SF float64
 	// Seed drives all generation.
 	Seed int64
+	// Lean skips per-tuple metadata (the maps and formatted strings the
+	// Learner trains on), which dominates generation memory at SF ≥ 1.
+	// Engine benchmarks, which never touch metadata, set it to generate
+	// large scale factors cheaply. The random-number stream is consumed
+	// identically in both modes, so for a given SF and Seed the tuple data
+	// is byte-for-byte the same with and without Lean.
+	Lean bool
 }
 
 func (c TPCHConfig) withDefaults() TPCHConfig {
@@ -74,7 +81,24 @@ func TPCH(cfg TPCHConfig) *uncertain.DB {
 	nPart := scaled(200_000, cfg.SF, 25)
 	nOrders := scaled(1_500_000, cfg.SF, 60)
 	batches := 12
-	batch := func() string { return fmt.Sprintf("batch-%02d", rng.Intn(batches)) }
+	// batch always consumes one rng draw so Lean mode leaves the random
+	// stream — and therefore every generated tuple — unchanged.
+	batch := func() string {
+		b := rng.Intn(batches)
+		if cfg.Lean {
+			return ""
+		}
+		return fmt.Sprintf("batch-%02d", b)
+	}
+	// meta materializes a tuple's metadata unless Lean generation is on.
+	// Callers must draw batch() outside the closure argument so the rng
+	// stream does not depend on the mode.
+	meta := func(m func() table.Metadata) table.Metadata {
+		if cfg.Lean {
+			return nil
+		}
+		return m()
+	}
 
 	db := table.NewDatabase()
 	col := func(name string, k table.Kind) table.Column { return table.Column{Name: name, Kind: k} }
@@ -100,14 +124,21 @@ func TPCH(cfg TPCHConfig) *uncertain.DB {
 	supplier := table.NewRelation("supplier", table.NewSchema(
 		col("s_suppkey", table.KindInt), col("s_name", table.KindString),
 		col("s_nationkey", table.KindInt), col("s_acctbal", table.KindFloat)))
+	supplier.Reserve(nSupplier)
 	for i := 0; i < nSupplier; i++ {
 		nk := rng.Intn(len(nationNames))
-		supplier.MustAppend(table.Tuple{
+		// The tuple is built before batch() so the rng draw order matches
+		// the original inline-literal evaluation order exactly.
+		t := table.Tuple{
 			table.Int(int64(i)),
 			table.String_(fmt.Sprintf("Supplier#%06d", i)),
 			table.Int(int64(nk)),
 			table.Float(float64(rng.Intn(1_000_000)) / 100),
-		}, table.Metadata{"source": batch(), "entity": fmt.Sprintf("supplier-%d", i), "value": nationNames[nk]})
+		}
+		src := batch()
+		supplier.MustAppend(t, meta(func() table.Metadata {
+			return table.Metadata{"source": src, "entity": fmt.Sprintf("supplier-%d", i), "value": nationNames[nk]}
+		}))
 	}
 	db.MustAdd(supplier)
 
@@ -115,16 +146,21 @@ func TPCH(cfg TPCHConfig) *uncertain.DB {
 		col("c_custkey", table.KindInt), col("c_name", table.KindString),
 		col("c_nationkey", table.KindInt), col("c_mktsegment", table.KindString),
 		col("c_acctbal", table.KindFloat)))
+	customer.Reserve(nCustomer)
 	for i := 0; i < nCustomer; i++ {
 		nk := rng.Intn(len(nationNames))
 		seg := segments[rng.Intn(len(segments))]
-		customer.MustAppend(table.Tuple{
+		t := table.Tuple{
 			table.Int(int64(i)),
 			table.String_(fmt.Sprintf("Customer#%06d", i)),
 			table.Int(int64(nk)),
 			table.String_(seg),
 			table.Float(float64(rng.Intn(1_000_000)) / 100),
-		}, table.Metadata{"source": batch(), "entity": fmt.Sprintf("customer-%d", i), "value": seg})
+		}
+		src := batch()
+		customer.MustAppend(t, meta(func() table.Metadata {
+			return table.Metadata{"source": src, "entity": fmt.Sprintf("customer-%d", i), "value": seg}
+		}))
 	}
 	db.MustAdd(customer)
 
@@ -132,6 +168,7 @@ func TPCH(cfg TPCHConfig) *uncertain.DB {
 		col("p_partkey", table.KindInt), col("p_name", table.KindString),
 		col("p_type", table.KindString), col("p_size", table.KindInt),
 		col("p_brand", table.KindString), col("p_container", table.KindString)))
+	part.Reserve(nPart)
 	for i := 0; i < nPart; i++ {
 		ptype := fmt.Sprintf("%s %s %s",
 			partTypes1[rng.Intn(len(partTypes1))],
@@ -140,29 +177,38 @@ func TPCH(cfg TPCHConfig) *uncertain.DB {
 		pname := fmt.Sprintf("%s %s part-%d",
 			partColors[rng.Intn(len(partColors))],
 			partColors[rng.Intn(len(partColors))], i)
-		part.MustAppend(table.Tuple{
+		t := table.Tuple{
 			table.Int(int64(i)),
 			table.String_(pname),
 			table.String_(ptype),
 			table.Int(int64(1 + rng.Intn(50))),
 			table.String_(fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5))),
 			table.String_(containers[rng.Intn(len(containers))]),
-		}, table.Metadata{"source": batch(), "entity": fmt.Sprintf("part-%d", i), "value": ptype})
+		}
+		src := batch()
+		part.MustAppend(t, meta(func() table.Metadata {
+			return table.Metadata{"source": src, "entity": fmt.Sprintf("part-%d", i), "value": ptype}
+		}))
 	}
 	db.MustAdd(part)
 
 	partsupp := table.NewRelation("partsupp", table.NewSchema(
 		col("ps_partkey", table.KindInt), col("ps_suppkey", table.KindInt),
 		col("ps_supplycost", table.KindFloat), col("ps_availqty", table.KindInt)))
+	partsupp.Reserve(2 * nPart)
 	for i := 0; i < nPart; i++ {
 		// TPC-H pairs each part with 4 suppliers; 2 keeps small scales joinable.
 		for j := 0; j < 2; j++ {
 			sk := (i*7 + j*13) % nSupplier
-			partsupp.MustAppend(table.Tuple{
+			t := table.Tuple{
 				table.Int(int64(i)), table.Int(int64(sk)),
 				table.Float(float64(rng.Intn(100_000)) / 100),
 				table.Int(int64(rng.Intn(10_000))),
-			}, table.Metadata{"source": batch(), "entity": fmt.Sprintf("part-%d", i)})
+			}
+			src := batch()
+			partsupp.MustAppend(t, meta(func() table.Metadata {
+				return table.Metadata{"source": src, "entity": fmt.Sprintf("part-%d", i)}
+			}))
 		}
 	}
 	db.MustAdd(partsupp)
@@ -189,6 +235,8 @@ func TPCH(cfg TPCHConfig) *uncertain.DB {
 		d := 1 + rem%28
 		return table.Date(y, m, d)
 	}
+	orders.Reserve(nOrders)
+	lineitem.Reserve(nOrders * 5 / 2) // lines per order average 2.5
 	for i := 0; i < nOrders; i++ {
 		ck := rng.Intn(nCustomer)
 		odate := randDate(1992, 7*365)
@@ -196,14 +244,18 @@ func TPCH(cfg TPCHConfig) *uncertain.DB {
 		if rng.Float64() < 0.49 {
 			status = "F"
 		}
-		orders.MustAppend(table.Tuple{
+		ot := table.Tuple{
 			table.Int(int64(i)), table.Int(int64(ck)),
 			table.String_(status),
 			table.Float(float64(rng.Intn(40_000_000)) / 100),
 			odate,
 			table.String_(priorities[rng.Intn(len(priorities))]),
 			table.Int(int64(rng.Intn(2))),
-		}, table.Metadata{"source": batch(), "entity": fmt.Sprintf("order-%d", i)})
+		}
+		osrc := batch()
+		orders.MustAppend(ot, meta(func() table.Metadata {
+			return table.Metadata{"source": osrc, "entity": fmt.Sprintf("order-%d", i)}
+		}))
 
 		lines := 1 + rng.Intn(4)
 		for ln := 0; ln < lines; ln++ {
@@ -222,7 +274,7 @@ func TPCH(cfg TPCHConfig) *uncertain.DB {
 			if rng.Float64() < 0.5 {
 				ls = "F"
 			}
-			lineitem.MustAppend(table.Tuple{
+			lt := table.Tuple{
 				table.Int(int64(i)), table.Int(int64(pk)), table.Int(int64(sk)),
 				table.Int(int64(ln + 1)),
 				table.Float(float64(1 + rng.Intn(50))),
@@ -234,7 +286,11 @@ func TPCH(cfg TPCHConfig) *uncertain.DB {
 				table.DateFromOrdinal(normalizeDate(commit)),
 				table.DateFromOrdinal(normalizeDate(receipt)),
 				table.String_(shipmodes[rng.Intn(len(shipmodes))]),
-			}, table.Metadata{"source": batch(), "entity": fmt.Sprintf("order-%d", i), "value": rf})
+			}
+			lsrc := batch()
+			lineitem.MustAppend(lt, meta(func() table.Metadata {
+				return table.Metadata{"source": lsrc, "entity": fmt.Sprintf("order-%d", i), "value": rf}
+			}))
 		}
 	}
 	db.MustAdd(orders)

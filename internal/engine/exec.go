@@ -3,6 +3,7 @@ package engine
 import (
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"qres/internal/boolexpr"
@@ -14,9 +15,17 @@ import (
 // Result is a materialized annotated query answer Q(D̄): the output schema,
 // and one Row per output tuple carrying its provenance expression. The set
 // of provenance expressions is the paper's Φ(Q, D̄).
+//
+// The derived provenance statistics (UniqueVars, MaxTermSize) are computed
+// once on first use and cached; a Result's Rows must not be mutated after
+// those accessors have been called. Results are handled by pointer.
 type Result struct {
 	Columns []OutCol
 	Rows    []Row
+
+	statsOnce sync.Once
+	uniqVars  []boolexpr.Var
+	maxTerm   int
 }
 
 // Provenance returns the provenance expression set Φ, aligned with Rows.
@@ -28,34 +37,42 @@ func (r *Result) Provenance() []boolexpr.Expr {
 	return out
 }
 
+// computeStats scans the provenance once, filling the cached statistics.
+func (r *Result) computeStats() {
+	r.statsOnce.Do(func() {
+		seen := make(map[boolexpr.Var]struct{})
+		for _, row := range r.Rows {
+			for _, v := range row.Prov.Vars() {
+				seen[v] = struct{}{}
+			}
+			if s := row.Prov.MaxTermSize(); s > r.maxTerm {
+				r.maxTerm = s
+			}
+		}
+		r.uniqVars = make([]boolexpr.Var, 0, len(seen))
+		for v := range seen {
+			r.uniqVars = append(r.uniqVars, v)
+		}
+		sort.Slice(r.uniqVars, func(i, j int) bool { return r.uniqVars[i] < r.uniqVars[j] })
+	})
+}
+
 // UniqueVars returns the distinct variables occurring in the result's
 // provenance, in ascending order — the candidate probes of the resolution
 // problem, and the "# Unique variables" statistic of the paper's Table 3.
+// The scan over all provenance runs once; subsequent calls return the
+// cached answer (as a fresh slice the caller may modify).
 func (r *Result) UniqueVars() []boolexpr.Var {
-	seen := make(map[boolexpr.Var]struct{})
-	for _, row := range r.Rows {
-		for _, v := range row.Prov.Vars() {
-			seen[v] = struct{}{}
-		}
-	}
-	out := make([]boolexpr.Var, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	r.computeStats()
+	return append([]boolexpr.Var(nil), r.uniqVars...)
 }
 
 // MaxTermSize returns the k of the k-DNF provenance: the largest term size
-// across all rows (the "Term Size" statistic of Table 3).
+// across all rows (the "Term Size" statistic of Table 3). Like UniqueVars,
+// the answer is computed once and cached.
 func (r *Result) MaxTermSize() int {
-	k := 0
-	for _, row := range r.Rows {
-		if s := row.Prov.MaxTermSize(); s > k {
-			k = s
-		}
-	}
-	return k
+	r.computeStats()
+	return r.maxTerm
 }
 
 // Header renders the column names, comma-separated.
@@ -96,25 +113,71 @@ func (s worldSource) Prov(string, int) boolexpr.Expr { return boolexpr.True() }
 // Run evaluates plan over the uncertain database with provenance tracking
 // (Step 2 of the framework). Each output row's expression is True under a
 // valuation iff the row belongs to the query answer on that possible world.
+//
+// Run uses the streaming executor: the plan is rewritten (predicate
+// pushdown, top-k fusion — see Rewrite), compiled to a tree of Volcano
+// iterators and drained. Results are row-for-row identical to the
+// materializing reference executor, which stays available as RunReference
+// for equivalence testing.
 func Run(db *uncertain.DB, plan Node) (*Result, error) {
 	return RunObserved(db, plan, nil)
 }
 
-// RunObserved is Run with instrumentation: when o is enabled it emits a
-// query_eval span covering plan execution (annotated with the plan shape
-// and output cardinality) and a provenance span summarizing the constructed
-// annotations (expression count, unique variables, maximum term size).
-func RunObserved(db *uncertain.DB, plan Node, o *obs.Obs) (*Result, error) {
-	start := time.Now()
+// RunReference evaluates plan with the pre-streaming materializing
+// executor, with no plan rewriting: every operator computes its full output
+// before its parent starts. It is the pinned control for the streaming
+// path — equivalence tests and BenchmarkEngine run both and compare —
+// mirroring the DisableIncremental / FitForestReference pattern used by
+// the resolver and the learner.
+func RunReference(db *uncertain.DB, plan Node) (*Result, error) {
 	schema, rows, err := plan.exec(uncertainSource{db})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: schema, Rows: rows}, nil
+}
+
+// RunObserved is Run with instrumentation. When o carries a metrics
+// registry it maintains the engine counters (engine_rows_scanned_total,
+// engine_rows_emitted_total, engine_predicates_pushed_total,
+// engine_topk_fused_total). When o carries a span sink it additionally
+// emits a query_eval span (annotated with the original and rewritten plan
+// shapes and the output cardinality), one query_op span per streaming
+// operator (rows produced, inclusive subtree time), and a provenance span
+// summarizing the constructed annotations.
+func RunObserved(db *uncertain.DB, plan Node, o *obs.Obs) (*Result, error) {
+	return runStream(uncertainSource{db}, plan, o)
+}
+
+// runStream rewrites, compiles and drains a plan against src, reporting
+// through o (which may be nil).
+func runStream(src Source, plan Node, o *obs.Obs) (*Result, error) {
+	start := time.Now()
+	rewritten, rst := rewriteWithStats(plan)
+	ctx := &compileCtx{src: src, stats: &execStats{}, trace: o.Tracing()}
+	c, err := compile(rewritten, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := drain(c)
 	evalDur := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Columns: schema, Rows: rows}
+	res := &Result{Columns: c.schema, Rows: rows}
 	if o.Enabled() {
+		o.Count("engine_rows_scanned_total", ctx.stats.scanned)
+		o.Count("engine_rows_emitted_total", int64(len(rows)))
+		o.Count("engine_predicates_pushed_total", int64(rst.pushed))
+		o.Count("engine_topk_fused_total", int64(rst.topk))
 		o.Emit(obs.StageQueryEval, -1, start, evalDur,
-			obs.Str("plan", Shape(plan)), obs.Int("rows", len(rows)))
+			obs.Str("plan", Shape(plan)), obs.Str("rewritten", Shape(rewritten)),
+			obs.Int("rows", len(rows)), obs.Int("scanned", int(ctx.stats.scanned)),
+			obs.Int("pushed", rst.pushed))
+		for _, op := range ctx.ops {
+			o.Emit(obs.StageQueryOperator, -1, start, op.dur,
+				obs.Str("op", op.label), obs.Int("rows", int(op.rows)))
+		}
 		pstart := time.Now()
 		vars := res.UniqueVars()
 		maxTerm := res.MaxTermSize()
@@ -125,17 +188,41 @@ func RunObserved(db *uncertain.DB, plan Node, o *obs.Obs) (*Result, error) {
 	return res, nil
 }
 
+// drain opens the compiled iterator tree and collects every row, cloning
+// scratch-backed tuples so the materialized Result owns its memory.
+func drain(c compiled) ([]Row, error) {
+	if err := c.it.Open(); err != nil {
+		return nil, err
+	}
+	defer c.it.Close()
+	var rows []Row
+	for {
+		r, ok, err := c.it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		if !c.stable {
+			r.Tuple = cloneTuple(r.Tuple)
+		}
+		rows = append(rows, r)
+	}
+}
+
 // RunWorld evaluates plan over a plain database under standard set
 // semantics and returns the set of output tuple keys. Experiments use it to
 // compute the ground-truth answer Q(D_val*) independently of provenance,
 // which is how the resolution-correctness invariant is checked end to end.
+// Like Run it executes on the streaming path.
 func RunWorld(db *table.Database, plan Node) (map[string]table.Tuple, error) {
-	_, rows, err := plan.exec(worldSource{db})
+	res, err := runStream(worldSource{db}, plan, nil)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]table.Tuple, len(rows))
-	for _, r := range rows {
+	out := make(map[string]table.Tuple, len(res.Rows))
+	for _, r := range res.Rows {
 		out[r.Tuple.Key()] = r.Tuple
 	}
 	return out, nil

@@ -40,12 +40,22 @@ type Row struct {
 // without predicates or column lists, e.g. "Project(Join(Scan,Scan))".
 // Query-evaluation trace spans attach it so traces identify the plan
 // without reproducing its full String rendering.
+//
+// Shapes carry the rewrite pass's annotations: a selection the rewrite
+// pushed down renders as "Select*", a fused ORDER BY … LIMIT k renders as
+// "TopK[k]", and Limit renders its row budget as "Limit[n]". Rendering
+// Shape(Rewrite(plan)) next to Shape(plan) therefore shows exactly what
+// the rewrite did to a plan.
 func Shape(n Node) string {
 	switch t := n.(type) {
 	case *scanNode:
 		return "Scan"
 	case *selectNode:
-		return "Select(" + Shape(t.input) + ")"
+		op := "Select"
+		if t.pushed {
+			op = "Select*"
+		}
+		return op + "(" + Shape(t.input) + ")"
 	case *joinNode:
 		return "Join(" + Shape(t.left) + "," + Shape(t.right) + ")"
 	case *projectNode:
@@ -63,7 +73,9 @@ func Shape(n Node) string {
 	case *sortNode:
 		return "Sort(" + Shape(t.input) + ")"
 	case *limitNode:
-		return "Limit(" + Shape(t.input) + ")"
+		return fmt.Sprintf("Limit[%d](%s)", t.n, Shape(t.input))
+	case *topKNode:
+		return fmt.Sprintf("TopK[%d](%s)", t.n, Shape(t.input))
 	default:
 		return "?"
 	}
@@ -103,11 +115,14 @@ func (n *scanNode) String() string {
 }
 
 // Select filters rows by a predicate; provenance passes through unchanged.
-func Select(input Node, pred Predicate) Node { return &selectNode{input, pred} }
+func Select(input Node, pred Predicate) Node { return &selectNode{input: input, pred: pred} }
 
 type selectNode struct {
 	input Node
 	pred  Predicate
+	// pushed marks a selection placed by the rewrite pass (rendered as
+	// "Select*" in Shape); it has no execution semantics.
+	pushed bool
 }
 
 func (n *selectNode) exec(src Source) (outSchema, []Row, error) {
@@ -293,18 +308,9 @@ func extractEqui(q cmpPred, ls, rs outSchema) (equiCond, bool) {
 // equiKey builds the hash key of a row for the given equi-conditions.
 // It returns ok=false when any key component is NULL (NULL never joins).
 func equiKey(t table.Tuple, conds []equiCond, left bool) (string, bool) {
-	buf := make([]byte, 0, 16*len(conds))
-	for _, c := range conds {
-		idx := c.rightIdx
-		if left {
-			idx = c.leftIdx
-		}
-		v := t[idx]
-		if v.IsNull() {
-			return "", false
-		}
-		buf = v.EncodeKey(buf)
-		buf = append(buf, 0)
+	buf, ok := appendEquiKey(make([]byte, 0, 16*len(conds)), t, conds, left)
+	if !ok {
+		return "", false
 	}
 	return string(buf), true
 }

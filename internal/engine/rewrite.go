@@ -1,0 +1,403 @@
+package engine
+
+import "strings"
+
+// Rewrite applies the engine's plan-rewrite pass and returns a new,
+// semantically equivalent plan; the input plan is never mutated (plans are
+// routinely reused across runs). The pass performs three rewrites:
+//
+//   - Predicate pushdown: selection conjuncts referencing a single side of
+//     a join sink below it, all the way into a Select directly above the
+//     relevant Scan (where the streaming executor fuses them into the scan
+//     loop). Conjuncts referencing both sides of a join merge into the
+//     join condition, where equality conjuncts become hash-join keys.
+//   - Same-side join conditions: conjuncts of a join's own condition that
+//     reference only one input likewise sink into that input.
+//   - Top-k fusion: Limit(Sort(x)) with a non-negative limit becomes a
+//     single TopK operator with a bounded heap.
+//
+// Pushdown is deliberately conservative so the rewritten plan binds with
+// exactly the errors of the original: only conjuncts whose column
+// references are all alias-qualified move (an unqualified reference could
+// be ambiguous, and the error must surface where the user wrote it), a
+// conjunct only sinks to a join side when its qualifiers resolve uniquely
+// there, and nothing pushes through Project or Union (both rewrite the
+// visible schema) or through Limit/TopK (filtering before truncation
+// changes the result).
+func Rewrite(plan Node) Node {
+	n, _ := rewriteWithStats(plan)
+	return n
+}
+
+// rewriteStats counts what the rewrite did, feeding the executor's
+// engine_predicates_pushed / engine_topk_fused counters and the rewrite
+// annotations in trace spans.
+type rewriteStats struct {
+	// pushed counts selection conjuncts relocated below the operator they
+	// were written on (into a pushed Select or a join condition).
+	pushed int
+	// topk counts Limit(Sort) pairs fused into TopK operators.
+	topk int
+}
+
+// rewriteWithStats is Rewrite, also reporting what changed.
+func rewriteWithStats(plan Node) (Node, rewriteStats) {
+	var st rewriteStats
+	return rewriteNode(plan, &st), st
+}
+
+func rewriteNode(n Node, st *rewriteStats) Node {
+	switch t := n.(type) {
+	case *scanNode:
+		return t
+
+	case *selectNode:
+		in := rewriteNode(t.input, st)
+		conjs := flattenPred(t.pred)
+		node, rem := pushConjuncts(in, conjs)
+		st.pushed += len(conjs) - len(rem)
+		if len(rem) == 0 {
+			return node
+		}
+		return &selectNode{input: node, pred: combinePred(rem), pushed: t.pushed}
+
+	case *joinNode:
+		l := rewriteNode(t.left, st)
+		r := rewriteNode(t.right, st)
+		return rewriteJoin(l, r, flattenPred(t.on), st)
+
+	case *projectNode:
+		return &projectNode{input: rewriteNode(t.input, st), distinct: t.distinct, cols: t.cols}
+
+	case *unionNode:
+		ins := make([]Node, len(t.inputs))
+		for i, in := range t.inputs {
+			ins[i] = rewriteNode(in, st)
+		}
+		return &unionNode{inputs: ins}
+
+	case *sortNode:
+		return &sortNode{input: rewriteNode(t.input, st), keys: t.keys}
+
+	case *limitNode:
+		in := rewriteNode(t.input, st)
+		if s, ok := in.(*sortNode); ok && t.n >= 0 {
+			st.topk++
+			return &topKNode{input: s.input, keys: s.keys, n: t.n}
+		}
+		return &limitNode{input: in, n: t.n}
+
+	default:
+		return n
+	}
+}
+
+// rewriteJoin builds the rewritten join of l and r under the condition
+// conjuncts: same-side conjuncts sink into their input, the rest stay in
+// the join condition.
+func rewriteJoin(l, r Node, conjs []Predicate, st *rewriteStats) Node {
+	la, ra := aliases(l), aliases(r)
+	var leftList, rightList, on []Predicate
+	for _, c := range conjs {
+		switch side(c, la, ra) {
+		case sideLeft:
+			leftList = append(leftList, c)
+		case sideRight:
+			rightList = append(rightList, c)
+		default:
+			on = append(on, c)
+		}
+	}
+	l2, remL := pushConjuncts(l, leftList)
+	r2, remR := pushConjuncts(r, rightList)
+	st.pushed += len(leftList) - len(remL) + len(rightList) - len(remR)
+	// Conjuncts assigned to a side but not absorbed there (e.g. blocked by
+	// a Project inside the subtree) return to the join condition, which is
+	// evaluated over the same concatenated schema they were written
+	// against.
+	on = append(on, remL...)
+	on = append(on, remR...)
+	return &joinNode{left: l2, right: r2, on: combineOn(on)}
+}
+
+// pushSide classifies where a conjunct can move relative to a join.
+type pushSide uint8
+
+const (
+	sideNone pushSide = iota
+	sideLeft
+	sideRight
+)
+
+// side decides whether conjunct c can sink into the left or right input of
+// a join whose inputs expose the alias sets la and ra. It requires every
+// column reference to be qualified, and every qualifier to resolve on
+// exactly one side — a qualifier known to both sides would bind ambiguously
+// above the join, and that error must be preserved, so the conjunct stays
+// put.
+func side(c Predicate, la, ra map[string]bool) pushSide {
+	quals, ok := predQualifiers(c)
+	if !ok || len(quals) == 0 {
+		return sideNone
+	}
+	left, right := false, false
+	for q := range quals {
+		inL, inR := la[q], ra[q]
+		switch {
+		case inL && !inR:
+			left = true
+		case inR && !inL:
+			right = true
+		default:
+			return sideNone
+		}
+	}
+	if left && right {
+		return sideNone
+	}
+	if left {
+		return sideLeft
+	}
+	return sideRight
+}
+
+// pushConjuncts sinks as many of the conjuncts as possible into n,
+// returning the rewritten node and the conjuncts that could not be
+// absorbed (absorption count = len(conjs) − len(remaining)). Pushing never
+// crosses Project, Union, Limit or TopK.
+func pushConjuncts(n Node, conjs []Predicate) (Node, []Predicate) {
+	if len(conjs) == 0 {
+		return n, nil
+	}
+	switch t := n.(type) {
+	case *scanNode:
+		alias := strings.ToLower(t.alias)
+		if alias == "" {
+			alias = strings.ToLower(t.relation)
+		}
+		var here, rem []Predicate
+		for _, c := range conjs {
+			quals, ok := predQualifiers(c)
+			if ok && len(quals) > 0 && onlyQualifier(quals, alias) {
+				here = append(here, c)
+			} else {
+				rem = append(rem, c)
+			}
+		}
+		if len(here) == 0 {
+			return n, rem
+		}
+		return &selectNode{input: t, pred: combinePred(here), pushed: true}, rem
+
+	case *selectNode:
+		in, rem := pushConjuncts(t.input, conjs)
+		if in == t.input {
+			return n, rem
+		}
+		return &selectNode{input: in, pred: t.pred, pushed: t.pushed}, rem
+
+	case *sortNode:
+		in, rem := pushConjuncts(t.input, conjs)
+		if in == t.input {
+			return n, rem
+		}
+		return &sortNode{input: in, keys: t.keys}, rem
+
+	case *joinNode:
+		la, ra := aliases(t.left), aliases(t.right)
+		var leftList, rightList, merge, rem []Predicate
+		for _, c := range conjs {
+			switch side(c, la, ra) {
+			case sideLeft:
+				leftList = append(leftList, c)
+			case sideRight:
+				rightList = append(rightList, c)
+			default:
+				if mergeableIntoOn(c, la, ra) {
+					merge = append(merge, c)
+				} else {
+					rem = append(rem, c)
+				}
+			}
+		}
+		if len(leftList) == 0 && len(rightList) == 0 && len(merge) == 0 {
+			return n, rem
+		}
+		l2, remL := pushConjuncts(t.left, leftList)
+		r2, remR := pushConjuncts(t.right, rightList)
+		on := flattenPred(t.on)
+		on = append(on, merge...)
+		on = append(on, remL...)
+		on = append(on, remR...)
+		return &joinNode{left: l2, right: r2, on: combineOn(on)}, rem
+
+	default:
+		// Project, Union, Limit, TopK (and anything unknown): schema or
+		// semantics change across the boundary, so nothing sinks.
+		return n, conjs
+	}
+}
+
+// mergeableIntoOn reports whether a conjunct that cannot sink to one side
+// may instead merge into the join condition: all its references must be
+// qualified and all qualifiers known within the join (the concatenated
+// schema the condition binds against is identical to the schema above the
+// join, so binding behavior — including ambiguity errors for a qualifier
+// visible on both sides — is preserved).
+func mergeableIntoOn(c Predicate, la, ra map[string]bool) bool {
+	quals, ok := predQualifiers(c)
+	if !ok || len(quals) == 0 {
+		return false
+	}
+	for q := range quals {
+		if !la[q] && !ra[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// onlyQualifier reports whether alias is the only qualifier in the set.
+func onlyQualifier(quals map[string]bool, alias string) bool {
+	for q := range quals {
+		if q != alias {
+			return false
+		}
+	}
+	return true
+}
+
+// aliases returns the set of lowercase relation aliases whose qualified
+// columns are visible in the subtree's output schema. Project erases
+// qualifiers and Union exposes its first input's schema, so those cases
+// return the visibility boundary rather than every alias underneath.
+func aliases(n Node) map[string]bool {
+	switch t := n.(type) {
+	case *scanNode:
+		a := t.alias
+		if a == "" {
+			a = t.relation
+		}
+		return map[string]bool{strings.ToLower(a): true}
+	case *selectNode:
+		return aliases(t.input)
+	case *sortNode:
+		return aliases(t.input)
+	case *limitNode:
+		return aliases(t.input)
+	case *topKNode:
+		return aliases(t.input)
+	case *joinNode:
+		out := aliases(t.left)
+		for a := range aliases(t.right) {
+			out[a] = true
+		}
+		return out
+	case *unionNode:
+		if len(t.inputs) > 0 {
+			return aliases(t.inputs[0])
+		}
+		return map[string]bool{}
+	default:
+		// Project output columns carry no qualifiers.
+		return map[string]bool{}
+	}
+}
+
+// flattenPred splits the top-level AND structure of a predicate into its
+// conjuncts.
+func flattenPred(p Predicate) []Predicate {
+	var out []Predicate
+	var walk func(Predicate)
+	walk = func(q Predicate) {
+		if a, ok := q.(andPred); ok {
+			for _, sub := range a.ps {
+				walk(sub)
+			}
+			return
+		}
+		out = append(out, q)
+	}
+	if p != nil {
+		walk(p)
+	}
+	return out
+}
+
+// combinePred rebuilds a predicate from conjuncts (which is never empty
+// when called).
+func combinePred(conjs []Predicate) Predicate {
+	if len(conjs) == 1 {
+		return conjs[0]
+	}
+	return And(conjs...)
+}
+
+// combineOn rebuilds a join condition from conjuncts; with none left the
+// condition is the empty conjunction (always true — a cross join).
+func combineOn(conjs []Predicate) Predicate {
+	if len(conjs) == 0 {
+		return And()
+	}
+	return combinePred(conjs)
+}
+
+// predQualifiers collects the lowercase qualifiers of every column
+// reference in a predicate. ok=false means the predicate contains an
+// unqualified reference or a construct the walker does not recognize, in
+// which case the rewrite leaves it where it is.
+func predQualifiers(p Predicate) (map[string]bool, bool) {
+	quals := map[string]bool{}
+	if !walkPredRefs(p, quals) {
+		return nil, false
+	}
+	return quals, true
+}
+
+func walkPredRefs(p Predicate, quals map[string]bool) bool {
+	switch q := p.(type) {
+	case cmpPred:
+		return walkScalarRefs(q.left, quals) && walkScalarRefs(q.right, quals)
+	case likePred:
+		return walkScalarRefs(q.col, quals)
+	case inPred:
+		return walkScalarRefs(q.col, quals)
+	case notNullPred:
+		return walkScalarRefs(q.col, quals)
+	case andPred:
+		for _, sub := range q.ps {
+			if !walkPredRefs(sub, quals) {
+				return false
+			}
+		}
+		return true
+	case orPred:
+		for _, sub := range q.ps {
+			if !walkPredRefs(sub, quals) {
+				return false
+			}
+		}
+		return true
+	case notPred:
+		return walkPredRefs(q.p, quals)
+	default:
+		return false
+	}
+}
+
+func walkScalarRefs(s Scalar, quals map[string]bool) bool {
+	switch c := s.(type) {
+	case colRef:
+		if c.qualifier == "" {
+			return false
+		}
+		quals[strings.ToLower(c.qualifier)] = true
+		return true
+	case constant:
+		return true
+	case yearOf:
+		return walkScalarRefs(c.of, quals)
+	default:
+		return false
+	}
+}

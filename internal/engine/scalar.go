@@ -6,9 +6,16 @@
 // the standard provenance-semiring rules: a scanned tuple is annotated with
 // its own variable, a join conjoins the provenance of its inputs, and
 // duplicate elimination (DISTINCT projection, UNION) disjoins the
-// provenance of merged rows. The engine materializes intermediate results,
-// which is sufficient for the paper's workloads and keeps execution easy to
-// reason about.
+// provenance of merged rows.
+//
+// Execution is streaming: Run rewrites the plan (predicate pushdown, top-k
+// fusion — see Rewrite), compiles it to a tree of Volcano-style
+// Open/Next/Close iterators, and drains the root, keeping provenance
+// annotation on the streaming path. The original materialize-per-operator
+// executor remains available as RunReference; it is the pinned control the
+// equivalence tests and benchmarks compare against. ARCHITECTURE.md's
+// "Query engine" chapter documents the iterator contract and the
+// equivalence argument.
 package engine
 
 import (

@@ -41,18 +41,7 @@ func (n *sortNode) exec(src Source) (outSchema, []Row, error) {
 	}
 	out := append([]Row(nil), rows...)
 	sort.SliceStable(out, func(a, b int) bool {
-		for i, k := range n.keys {
-			va, vb := evals[i](out[a].Tuple), evals[i](out[b].Tuple)
-			c, err := table.Compare(va, vb)
-			if err != nil || c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return compareRows(n.keys, evals, out[a].Tuple, out[b].Tuple) < 0
 	})
 	return schema, out, nil
 }
@@ -93,4 +82,40 @@ func (l *limitNode) exec(src Source) (outSchema, []Row, error) {
 
 func (l *limitNode) String() string {
 	return fmt.Sprintf("Limit(%d)[%s]", l.n, l.input)
+}
+
+// topKNode is the fused ORDER BY … LIMIT k operator the rewrite pass
+// produces from Limit(Sort(x)) when k ≥ 0. Streaming execution keeps a
+// bounded heap of the k best rows (see topKIter) instead of sorting the
+// full input; the result is identical to stable-sorting and truncating.
+// Only the rewrite constructs this node, so the materializing reference
+// executor never sees it — its exec below sorts and truncates, keeping the
+// Node contract total.
+type topKNode struct {
+	input Node
+	keys  []SortKey
+	n     int
+}
+
+func (t *topKNode) exec(src Source) (outSchema, []Row, error) {
+	schema, rows, err := (&sortNode{input: t.input, keys: t.keys}).exec(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rows) > t.n {
+		rows = rows[:t.n]
+	}
+	return schema, rows, nil
+}
+
+func (t *topKNode) String() string {
+	parts := make([]string, len(t.keys))
+	for i, k := range t.keys {
+		dir := ""
+		if k.Desc {
+			dir = " DESC"
+		}
+		parts[i] = k.By.String() + dir
+	}
+	return fmt.Sprintf("TopK(%d; %s)[%s]", t.n, strings.Join(parts, ", "), t.input)
 }

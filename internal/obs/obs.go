@@ -26,6 +26,11 @@ const (
 	// StageQueryEval covers SPJU plan execution with provenance tracking
 	// (framework Step 2).
 	StageQueryEval Stage = "query_eval"
+	// StageQueryOperator is one streaming plan operator within a query
+	// evaluation: its span carries the operator label, the rows it produced
+	// and the inclusive (subtree) time spent producing them. Emitted only
+	// when a span sink is attached (per-row timing is skipped otherwise).
+	StageQueryOperator Stage = "query_op"
 	// StageProvenance covers provenance-annotation bookkeeping after plan
 	// execution (unique variables, term sizes).
 	StageProvenance Stage = "provenance"
@@ -192,6 +197,12 @@ func New(session string, sink Sink, reg *Registry) *Obs {
 
 // Enabled reports whether any instrumentation is active.
 func (o *Obs) Enabled() bool { return o != nil }
+
+// Tracing reports whether a span sink is attached. Call sites use it to
+// gate instrumentation that is only worth paying for when spans are
+// collected (e.g. per-operator timing inside the query engine), as opposed
+// to cheap counters that flow to the metrics registry regardless.
+func (o *Obs) Tracing() bool { return o != nil && o.sink != nil }
 
 // Session returns the handle's session label.
 func (o *Obs) Session() string {

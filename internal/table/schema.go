@@ -125,6 +125,26 @@ func (r *Relation) Schema() *Schema { return r.schema }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.tuples) }
 
+// Reserve pre-allocates capacity for n additional tuples and their
+// metadata slots. Bulk loaders like the TPC-H generator call it with the
+// known cardinality so large relations are built without repeated slice
+// growth.
+func (r *Relation) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if need := len(r.tuples) + n; need > cap(r.tuples) {
+		grown := make([]Tuple, len(r.tuples), need)
+		copy(grown, r.tuples)
+		r.tuples = grown
+	}
+	if need := len(r.meta) + n; need > cap(r.meta) {
+		grown := make([]Metadata, len(r.meta), need)
+		copy(grown, r.meta)
+		r.meta = grown
+	}
+}
+
 // At returns the i-th tuple. The returned slice must not be modified.
 func (r *Relation) At(i int) Tuple { return r.tuples[i] }
 

@@ -16,6 +16,7 @@ type Result struct {
 	db   *DB
 	res  *engine.Result
 	cols []string
+	plan engine.Node
 }
 
 // Query evaluates an SPJU SQL statement with provenance tracking and
@@ -37,7 +38,15 @@ func (db *DB) Query(sql string) (*Result, error) {
 	for i, c := range res.Columns {
 		cols[i] = c.String()
 	}
-	return &Result{db: db, res: res, cols: cols}, nil
+	return &Result{db: db, res: res, cols: cols, plan: plan}, nil
+}
+
+// PlanShape renders the compact operator-tree signature of the plan as the
+// engine executed it, after the rewrite pass — pushed-down selections show
+// as "Select*" and fused ORDER BY … LIMIT k as "TopK[k]". See the "Query
+// engine" chapter of ARCHITECTURE.md for how to read shapes.
+func (r *Result) PlanShape() string {
+	return engine.Shape(engine.Rewrite(r.plan))
 }
 
 // Len returns the number of output rows.
