@@ -10,6 +10,7 @@ package qres_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -90,14 +91,17 @@ func BenchmarkProvenanceEvaluation(b *testing.B) {
 // BenchmarkEngine measures SPJU evaluation on the join-heavy TPC-H-like
 // queries, comparing the pinned materializing executor (engine.RunReference,
 // the pre-streaming control) against the streaming executor (engine.Run:
-// predicate pushdown + Volcano iterators). Both run the same plans over the
-// same database and produce row-for-row identical results (the equivalence
-// tests in internal/engine enforce this), so ns/op is directly comparable.
-// The scale factor defaults to 0.02 and can be raised with QRES_ENGINE_SF
-// (EXPERIMENTS.md regenerates at 0.02 and 1); generation uses Lean mode so
-// large scale factors skip the metadata the engine never reads. After all
-// sub-benchmarks run, the per-query pairs are appended as one trajectory
-// point to results/BENCH_engine.json.
+// predicate pushdown + Volcano iterators) and the morsel-parallel executor
+// at 2, 4 and 8 workers (engine.RunWith). All modes run the same plans over
+// the same database and produce row-for-row identical results (the
+// equivalence tests in internal/engine enforce this), so ns/op is directly
+// comparable. The scale factor defaults to 0.02 and can be raised with
+// QRES_ENGINE_SF (EXPERIMENTS.md regenerates at 0.02, 0.1 and 1);
+// generation uses Lean mode so large scale factors skip the metadata the
+// engine never reads. After all sub-benchmarks run, the per-query
+// measurements are appended as one trajectory point to
+// results/BENCH_engine.json, with serial streaming pinned as the control
+// the parallel speedups are computed against.
 func BenchmarkEngine(b *testing.B) {
 	sf := 0.02
 	if s := os.Getenv("QRES_ENGINE_SF"); s != "" {
@@ -111,19 +115,30 @@ func BenchmarkEngine(b *testing.B) {
 	type measure struct{ ns, bytes float64 }
 	measures := make(map[string]map[string]measure)
 	queries := []string{"Q3", "Q10"}
+	parallelWorkers := []int{2, 4, 8}
 	for _, qname := range queries {
 		plan, err := sqlparse.ParseAndCompile(datagen.TPCHQueries()[qname], udb.Data())
 		if err != nil {
 			b.Fatalf("compile %s: %v", qname, err)
 		}
 		measures[qname] = make(map[string]measure)
-		for _, mode := range []struct {
+		modes := []struct {
 			name string
 			run  func() (*engine.Result, error)
 		}{
 			{"reference", func() (*engine.Result, error) { return engine.RunReference(udb, plan) }},
 			{"streaming", func() (*engine.Result, error) { return engine.Run(udb, plan) }},
-		} {
+		}
+		for _, w := range parallelWorkers {
+			w := w
+			modes = append(modes, struct {
+				name string
+				run  func() (*engine.Result, error)
+			}{fmt.Sprintf("parallel%d", w), func() (*engine.Result, error) {
+				return engine.RunWith(udb, plan, engine.Exec{Workers: w})
+			}})
+		}
+		for _, mode := range modes {
 			b.Run(qname+"/"+mode.name, func(b *testing.B) {
 				b.ReportAllocs()
 				var before, after runtime.MemStats
@@ -159,7 +174,8 @@ func BenchmarkEngine(b *testing.B) {
 		if ref.ns == 0 || str.ns == 0 {
 			return // a sub-benchmark was filtered out; nothing to record
 		}
-		point[qname] = map[string]any{
+		q := map[string]any{
+			"control":         "streaming",
 			"control_ns":      ref.ns,
 			"streaming_ns":    str.ns,
 			"speedup":         ref.ns / str.ns,
@@ -167,6 +183,22 @@ func BenchmarkEngine(b *testing.B) {
 			"streaming_bytes": str.bytes,
 			"alloc_ratio":     ref.bytes / str.bytes,
 		}
+		parNS := make(map[string]any, len(parallelWorkers))
+		parSpeedup := make(map[string]any, len(parallelWorkers))
+		for _, w := range parallelWorkers {
+			par := measures[qname][fmt.Sprintf("parallel%d", w)]
+			if par.ns == 0 {
+				return // a sub-benchmark was filtered out; nothing to record
+			}
+			key := strconv.Itoa(w)
+			parNS[key] = par.ns
+			// Parallel speedup is measured against the serial streaming
+			// executor (the pinned control), not the materializing one.
+			parSpeedup[key] = str.ns / par.ns
+		}
+		q["parallel_ns"] = parNS
+		q["parallel_speedup"] = parSpeedup
+		point[qname] = q
 	}
 	if err := appendBenchTrajectory(filepath.Join("results", "BENCH_engine.json"), point); err != nil {
 		b.Logf("recording trajectory point: %v", err)

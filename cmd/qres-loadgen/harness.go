@@ -76,6 +76,10 @@ type harnessConfig struct {
 	// ShardWorkers bounds component-shard parallelism per session (sent as
 	// the create request's parallelism.shards; 0 leaves the server default).
 	ShardWorkers int
+	// EngineWorkers bounds morsel-parallel query evaluation per session
+	// (sent as the create request's parallelism.engine; 0 leaves the
+	// server default).
+	EngineWorkers int
 	// MaxSessions caps the in-process server (ignored with Addr).
 	MaxSessions int
 	// StoreDir, when set, persists the in-process server's shared
@@ -110,6 +114,7 @@ type report struct {
 	ClientErrors      int      `json:"client_errors"`
 	Answers           int      `json:"answers"`
 	ShardWorkers      int      `json:"shard_workers,omitempty"`
+	EngineWorkers     int      `json:"engine_workers,omitempty"`
 	ComponentGroups   int64    `json:"peak_component_groups"`
 	ThroughputPerSec  float64  `json:"throughput_answers_per_sec"`
 	ProbeSamples      int      `json:"probe_samples"`
@@ -136,8 +141,8 @@ func (r *report) Summary() string {
 	fmt.Fprintf(&b, "  throughput=%.1f answers/s (%d answers)\n", r.ThroughputPerSec, r.Answers)
 	fmt.Fprintf(&b, "  server: retrain_stalls=%d rejected_429=%d trace_dropped=%d probe-route p99=%.2fms\n",
 		r.RetrainStalls, r.ServerRejected, r.TraceDropped, r.ServerP99ProbeMS)
-	fmt.Fprintf(&b, "  sharding: shard_workers=%d peak_component_groups=%d\n",
-		r.ShardWorkers, r.ComponentGroups)
+	fmt.Fprintf(&b, "  sharding: shard_workers=%d peak_component_groups=%d engine_workers=%d\n",
+		r.ShardWorkers, r.ComponentGroups, r.EngineWorkers)
 	return b.String()
 }
 
@@ -273,8 +278,10 @@ func (c *loadClient) driveSession(ctx context.Context, cfg harnessConfig, query 
 		Seed:     rng.Int63(),
 		Trees:    cfg.Trees,
 	}
-	if cfg.ShardWorkers != 0 {
-		create.Parallelism = &server.ParallelismJSON{Shards: cfg.ShardWorkers}
+	if cfg.ShardWorkers != 0 || cfg.EngineWorkers != 0 {
+		create.Parallelism = &server.ParallelismJSON{
+			Shards: cfg.ShardWorkers, Engine: cfg.EngineWorkers,
+		}
 	}
 	var info server.SessionInfo
 	status, err := c.doJSON(ctx, http.MethodPost, "/v1/sessions", create, &info)
@@ -497,6 +504,7 @@ arrivalLoop:
 		ClientErrors:      client.ctr.errors,
 		Answers:           client.ctr.answers,
 		ShardWorkers:      cfg.ShardWorkers,
+		EngineWorkers:     cfg.EngineWorkers,
 		ComponentGroups:   int64(peakGroups),
 		ThroughputPerSec:  float64(client.ctr.answers) / elapsed.Seconds(),
 		ProbeSamples:      n,

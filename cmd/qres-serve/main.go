@@ -54,6 +54,7 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 64, "maximum concurrently live sessions")
 		ttl         = flag.Duration("ttl", 30*time.Minute, "idle session time-to-live")
 		shardW      = flag.Int("shard-workers", 0, "default component-shard workers per session (0 = per CPU, 1 = serial)")
+		engineW     = flag.Int("engine-workers", 0, "default engine workers per query evaluation (0 = per CPU, 1 = serial)")
 		tracePath   = flag.String("trace", "", "append pipeline span trace to this JSONL file")
 		slowPath    = flag.String("slow-log", "", "append slow-request log to this JSONL file")
 		slowAfter   = flag.Duration("slow-threshold", 500*time.Millisecond, "slow-request latency threshold")
@@ -71,8 +72,8 @@ func main() {
 		storeDir: dir, storeEngine: *storeEngine,
 		segmentBytes: *segBytes, compactInterval: *compactIntv,
 		maxSessions: *maxSessions, ttl: *ttl,
-		shardWorkers: *shardW,
-		tracePath:    *tracePath, slowPath: *slowPath,
+		shardWorkers: *shardW, engineWorkers: *engineW,
+		tracePath: *tracePath, slowPath: *slowPath,
 		slowAfter: *slowAfter, stallAfter: *stallAfter, debugAddr: *debugAddr,
 	}
 	if err := run(opts); err != nil {
@@ -92,6 +93,7 @@ type serveOptions struct {
 	compactInterval       time.Duration
 	maxSessions           int
 	shardWorkers          int
+	engineWorkers         int
 	ttl                   time.Duration
 	tracePath, slowPath   string
 	slowAfter, stallAfter time.Duration
@@ -157,7 +159,7 @@ func run(o serveOptions) error {
 		DB:                    udb,
 		MaxSessions:           o.maxSessions,
 		SessionTTL:            o.ttl,
-		Parallel:              resolve.Parallelism{Shards: o.shardWorkers},
+		Parallel:              resolve.Parallelism{Shards: o.shardWorkers, Engine: o.engineWorkers},
 		Registry:              reg,
 		SlowRequestThreshold:  o.slowAfter,
 		RetrainStallThreshold: o.stallAfter,

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -110,17 +111,44 @@ func (s worldSource) Relation(name string) (*table.Relation, bool) {
 
 func (s worldSource) Prov(string, int) boolexpr.Expr { return boolexpr.True() }
 
+// Exec bundles the execution options of one streaming run: an optional
+// instrumentation handle and the morsel-parallelism settings.
+//
+// Workers selects the engine worker count: 0 means one worker per CPU
+// (runtime.GOMAXPROCS), 1 pins the run to the serial streaming executor,
+// and n ≥ 2 fans eligible pipeline fragments out across n workers. The
+// parallel path is bit-identical to the serial one — same columns, tuple
+// order and provenance expressions — for any worker count; see
+// ARCHITECTURE.md "Parallel execution" for the determinism argument.
+//
+// MorselSize is the number of driver-relation rows per morsel; 0 selects
+// the default (1024). Smaller morsels only matter for tests that want many
+// morsels over tiny relations.
+type Exec struct {
+	Obs        *obs.Obs
+	Workers    int
+	MorselSize int
+}
+
 // Run evaluates plan over the uncertain database with provenance tracking
 // (Step 2 of the framework). Each output row's expression is True under a
 // valuation iff the row belongs to the query answer on that possible world.
 //
-// Run uses the streaming executor: the plan is rewritten (predicate
+// Run uses the serial streaming executor: the plan is rewritten (predicate
 // pushdown, top-k fusion — see Rewrite), compiled to a tree of Volcano
 // iterators and drained. Results are row-for-row identical to the
 // materializing reference executor, which stays available as RunReference
-// for equivalence testing.
+// for equivalence testing. RunWith adds morsel-driven parallelism with the
+// same result contract.
 func Run(db *uncertain.DB, plan Node) (*Result, error) {
-	return RunObserved(db, plan, nil)
+	return RunWith(db, plan, Exec{Workers: 1})
+}
+
+// RunWith evaluates plan on the streaming executor with explicit execution
+// options — the entry point for morsel-parallel evaluation. Results are
+// bit-identical to Run for every Exec value.
+func RunWith(db *uncertain.DB, plan Node, x Exec) (*Result, error) {
+	return runStream(uncertainSource{db}, plan, x)
 }
 
 // RunReference evaluates plan with the pre-streaming materializing
@@ -146,16 +174,25 @@ func RunReference(db *uncertain.DB, plan Node) (*Result, error) {
 // operator (rows produced, inclusive subtree time), and a provenance span
 // summarizing the constructed annotations.
 func RunObserved(db *uncertain.DB, plan Node, o *obs.Obs) (*Result, error) {
-	return runStream(uncertainSource{db}, plan, o)
+	return runStream(uncertainSource{db}, plan, Exec{Obs: o, Workers: 1})
 }
 
-// runStream rewrites, compiles and drains a plan against src, reporting
-// through o (which may be nil).
-func runStream(src Source, plan Node, o *obs.Obs) (*Result, error) {
+// runStream rewrites, compiles and drains a plan against src under the
+// given execution options, reporting through x.Obs (which may be nil).
+func runStream(src Source, plan Node, x Exec) (*Result, error) {
+	o := x.Obs
+	workers := x.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	start := time.Now()
 	rewritten, rst := rewriteWithStats(plan)
-	ctx := &compileCtx{src: src, stats: &execStats{}, trace: o.Tracing()}
-	c, err := compile(rewritten, ctx)
+	ctx := &compileCtx{
+		src: src, stats: &execStats{},
+		workers: workers, morsel: x.MorselSize,
+		trace: o.Tracing(),
+	}
+	c, err := compileInput(rewritten, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -170,6 +207,9 @@ func runStream(src Source, plan Node, o *obs.Obs) (*Result, error) {
 		o.Count("engine_rows_emitted_total", int64(len(rows)))
 		o.Count("engine_predicates_pushed_total", int64(rst.pushed))
 		o.Count("engine_topk_fused_total", int64(rst.topk))
+		o.Count("engine_morsels_total", ctx.stats.morsels)
+		o.Count("engine_parallel_pipelines_total", ctx.stats.pipelines)
+		o.Gauge("engine_workers", float64(workers))
 		o.Emit(obs.StageQueryEval, -1, start, evalDur,
 			obs.Str("plan", Shape(plan)), obs.Str("rewritten", Shape(rewritten)),
 			obs.Int("rows", len(rows)), obs.Int("scanned", int(ctx.stats.scanned)),
@@ -215,9 +255,9 @@ func drain(c compiled) ([]Row, error) {
 // semantics and returns the set of output tuple keys. Experiments use it to
 // compute the ground-truth answer Q(D_val*) independently of provenance,
 // which is how the resolution-correctness invariant is checked end to end.
-// Like Run it executes on the streaming path.
+// Like Run it executes on the serial streaming path.
 func RunWorld(db *table.Database, plan Node) (map[string]table.Tuple, error) {
-	res, err := runStream(worldSource{db}, plan, nil)
+	res, err := runStream(worldSource{db}, plan, Exec{Workers: 1})
 	if err != nil {
 		return nil, err
 	}

@@ -35,19 +35,47 @@ type iter interface {
 
 // execStats aggregates the cheap per-run counters the streaming executor
 // always maintains (independent of tracing): the number of base-relation
-// tuples read by all scans.
+// tuples read by all scans, and — on the parallel path — the number of
+// morsels executed and pipeline fragments fanned out.
 type execStats struct {
-	scanned int64
+	scanned   int64
+	morsels   int64
+	pipelines int64
 }
 
 // compileCtx carries the shared state of one compilation: the source to
-// bind against, the run's counters, and — when per-operator tracing is
-// requested — the instrumentation wrappers created so far.
+// bind against, the run's counters, the parallel-execution settings
+// (workers < 2 compiles fully serial trees; morsel is the rows-per-morsel
+// grain), and — when per-operator tracing is requested — the
+// instrumentation wrappers created so far.
 type compileCtx struct {
-	src   Source
-	stats *execStats
-	trace bool
-	ops   []*opIter
+	src     Source
+	stats   *execStats
+	workers int
+	morsel  int
+	trace   bool
+	ops     []*opIter
+}
+
+// maxPreSize caps every cardinality-hint-driven pre-allocation (hash-join
+// build tables, materialized loop-join and sort buffers, top-k heaps). The
+// hints from estimateRows are upper bounds, not estimates — a selective
+// filter under a large base relation can inflate them by orders of
+// magnitude — so an uncapped make() at SF 1+ could reserve gigabytes for a
+// handful of rows. Buffers grow past the cap organically via append.
+const maxPreSize = 1 << 20
+
+// clampPreSize converts a cardinality hint into a safe pre-allocation
+// size: unknown (-1) becomes zero, and anything above maxPreSize is
+// capped.
+func clampPreSize(hint int) int {
+	if hint < 0 {
+		return 0
+	}
+	if hint > maxPreSize {
+		return maxPreSize
+	}
+	return hint
 }
 
 // compiled is the result of compiling a plan subtree: its bound output
@@ -168,6 +196,16 @@ func compile(n Node, ctx *compileCtx) (compiled, error) {
 		return ctx.wrap("NestedLoopJoin", compiled{schema: schema, it: it, stable: false}), nil
 
 	case *projectNode:
+		if t.distinct {
+			// Only the non-distinct projection fragment fans out; dedup (a
+			// pipeline breaker) merges the exchange's ordered output
+			// serially, preserving first-occurrence order and provenance
+			// disjunction order.
+			if pc, ok := tryExchange(&projectNode{input: t.input, cols: t.cols}, ctx); ok {
+				it := &dedupIter{in: pc.it, clone: !pc.stable}
+				return compiled{schema: pc.schema, it: it, stable: true}, nil
+			}
+		}
 		c, err := compile(t.input, ctx)
 		if err != nil {
 			return compiled{}, err
@@ -203,7 +241,7 @@ func compile(n Node, ctx *compileCtx) (compiled, error) {
 		ins := make([]iter, len(t.inputs))
 		clone := false
 		for i, in := range t.inputs {
-			c, err := compile(in, ctx)
+			c, err := compileInput(in, ctx)
 			if err != nil {
 				return compiled{}, err
 			}
@@ -229,7 +267,7 @@ func compile(n Node, ctx *compileCtx) (compiled, error) {
 		return ctx.wrap("Union", compiled{schema: schema, it: it, stable: true}), nil
 
 	case *sortNode:
-		c, err := compile(t.input, ctx)
+		c, err := compileInput(t.input, ctx)
 		if err != nil {
 			return compiled{}, err
 		}
@@ -237,11 +275,12 @@ func compile(n Node, ctx *compileCtx) (compiled, error) {
 		if err != nil {
 			return compiled{}, err
 		}
-		it := &sortIter{in: c.it, keys: t.keys, evals: evals, clone: !c.stable}
+		it := &sortIter{in: c.it, keys: t.keys, evals: evals, clone: !c.stable,
+			sizeHint: estimateRows(t.input, ctx.src)}
 		return ctx.wrap("Sort", compiled{schema: c.schema, it: it, stable: true}), nil
 
 	case *topKNode:
-		c, err := compile(t.input, ctx)
+		c, err := compileInput(t.input, ctx)
 		if err != nil {
 			return compiled{}, err
 		}
@@ -639,10 +678,7 @@ func (j *hashJoinIter) Next() (Row, bool, error) {
 // indices (grouped per key via an index map to a shared list table) so
 // inserting into an existing bucket allocates no key string.
 func (j *hashJoinIter) build() error {
-	size := j.sizeHint
-	if size < 0 {
-		size = 0
-	}
+	size := clampPreSize(j.sizeHint)
 	j.index = make(map[string]int32, size)
 	j.rows = make([]Row, 0, size)
 	for {
@@ -735,10 +771,7 @@ func (j *loopJoinIter) Next() (Row, bool, error) {
 }
 
 func (j *loopJoinIter) build() error {
-	size := j.sizeHint
-	if size < 0 {
-		size = 0
-	}
+	size := clampPreSize(j.sizeHint)
 	j.rows = make([]Row, 0, size)
 	for {
 		r, ok, err := j.right.Next()
@@ -764,13 +797,15 @@ func (j *loopJoinIter) Close() {
 }
 
 // sortIter is the pipeline-breaking ORDER BY operator: it drains its input
-// (cloning volatile tuples), stable-sorts with the shared comparator, and
-// streams the sorted rows (which it owns, so the output is stable).
+// (cloning volatile tuples) into a buffer pre-sized from the capped
+// cardinality hint, stable-sorts with the shared comparator, and streams
+// the sorted rows (which it owns, so the output is stable).
 type sortIter struct {
-	in    iter
-	keys  []SortKey
-	evals []func(table.Tuple) table.Value
-	clone bool
+	in       iter
+	keys     []SortKey
+	evals    []func(table.Tuple) table.Value
+	clone    bool
+	sizeHint int
 
 	rows []Row
 	done bool
@@ -786,6 +821,9 @@ func (s *sortIter) Open() error {
 // Next implements iter.
 func (s *sortIter) Next() (Row, bool, error) {
 	if !s.done {
+		if s.rows == nil {
+			s.rows = make([]Row, 0, clampPreSize(s.sizeHint))
+		}
 		for {
 			r, ok, err := s.in.Next()
 			if err != nil {
@@ -878,6 +916,11 @@ func (t *topKIter) Next() (Row, bool, error) {
 }
 
 func (t *topKIter) drain() error {
+	if t.entries == nil {
+		// k comes straight from the query's LIMIT, so cap the heap's
+		// pre-allocation like every other hinted buffer.
+		t.entries = make([]topkEntry, 0, clampPreSize(t.k))
+	}
 	for ord := 0; ; ord++ {
 		r, ok, err := t.in.Next()
 		if err != nil {

@@ -15,42 +15,63 @@ import (
 	"qres/internal/uncertain"
 )
 
-// assertEquivalent runs plan on both executors — the streaming path (Run,
-// which rewrites and compiles to iterators) and the pinned materializing
-// reference (RunReference) — and requires row-for-row identical results:
-// same columns, same row order, same tuples, same provenance expressions.
+// equivalenceWorkers are the engine worker counts every equivalence test
+// exercises against the materializing reference; 1 is the serial streaming
+// path, the rest fan out through the morsel exchange. The tiny morsel size
+// forces multi-morsel execution even on test-sized relations.
+var equivalenceWorkers = []int{1, 2, 4, 8}
+
+const testMorselSize = 16
+
+// assertEquivalent runs plan on every executor — the serial streaming path
+// (Run, which rewrites and compiles to iterators), the morsel-parallel
+// path for each worker count, and the pinned materializing reference
+// (RunReference) — and requires row-for-row identical results: same
+// columns, same row order, same tuples, same provenance expressions.
 func assertEquivalent(t *testing.T, udb *uncertain.DB, plan engine.Node) {
 	t.Helper()
 	want, werr := engine.RunReference(udb, plan)
-	got, gerr := engine.Run(udb, plan)
-	if (werr == nil) != (gerr == nil) {
-		t.Fatalf("error mismatch: reference=%v streaming=%v", werr, gerr)
-	}
-	if werr != nil {
-		if werr.Error() != gerr.Error() {
-			t.Fatalf("error text mismatch:\nreference: %v\nstreaming: %v", werr, gerr)
+	for _, w := range equivalenceWorkers {
+		mode := fmt.Sprintf("parallel(%d)", w)
+		var got *engine.Result
+		var gerr error
+		if w == 1 {
+			mode = "streaming"
+			got, gerr = engine.Run(udb, plan)
+		} else {
+			got, gerr = engine.RunWith(udb, plan, engine.Exec{Workers: w, MorselSize: testMorselSize})
 		}
-		return
-	}
-	if wh, gh := want.Header(), got.Header(); wh != gh {
-		t.Fatalf("column mismatch: reference %q vs streaming %q", wh, gh)
-	}
-	if len(want.Rows) != len(got.Rows) {
-		t.Fatalf("row count mismatch: reference %d vs streaming %d", len(want.Rows), len(got.Rows))
-	}
-	for i := range want.Rows {
-		if wk, gk := want.Rows[i].Tuple.Key(), got.Rows[i].Tuple.Key(); wk != gk {
-			t.Fatalf("row %d tuple mismatch: reference %s vs streaming %s",
-				i, want.Rows[i].Tuple, got.Rows[i].Tuple)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("error mismatch: reference=%v %s=%v", werr, mode, gerr)
 		}
-		if !want.Rows[i].Prov.Equal(got.Rows[i].Prov) {
-			t.Fatalf("row %d provenance mismatch: reference %s vs streaming %s",
-				i, want.Rows[i].Prov, got.Rows[i].Prov)
+		if werr != nil {
+			if werr.Error() != gerr.Error() {
+				t.Fatalf("error text mismatch:\nreference: %v\n%s: %v", werr, mode, gerr)
+			}
+			continue
+		}
+		if wh, gh := want.Header(), got.Header(); wh != gh {
+			t.Fatalf("column mismatch: reference %q vs %s %q", wh, mode, gh)
+		}
+		if len(want.Rows) != len(got.Rows) {
+			t.Fatalf("row count mismatch: reference %d vs %s %d", len(want.Rows), mode, len(got.Rows))
+		}
+		for i := range want.Rows {
+			if wk, gk := want.Rows[i].Tuple.Key(), got.Rows[i].Tuple.Key(); wk != gk {
+				t.Fatalf("row %d tuple mismatch: reference %s vs %s %s",
+					i, want.Rows[i].Tuple, mode, got.Rows[i].Tuple)
+			}
+			if !want.Rows[i].Prov.Equal(got.Rows[i].Prov) {
+				t.Fatalf("row %d provenance mismatch: reference %s vs %s %s",
+					i, want.Rows[i].Prov, mode, got.Rows[i].Prov)
+			}
 		}
 	}
 }
 
-// assertEquivalentErr asserts both executors fail with the same error text.
+// assertEquivalentErr asserts every executor fails with the same error
+// text — including the parallel path, whose compile falls back to the
+// serial compiler on any binding error so error fidelity is preserved.
 func assertEquivalentErr(t *testing.T, udb *uncertain.DB, plan engine.Node) {
 	t.Helper()
 	_, werr := engine.RunReference(udb, plan)
@@ -60,6 +81,10 @@ func assertEquivalentErr(t *testing.T, udb *uncertain.DB, plan engine.Node) {
 	}
 	if werr.Error() != gerr.Error() {
 		t.Fatalf("error text mismatch:\nreference: %v\nstreaming: %v", werr, gerr)
+	}
+	_, perr := engine.RunWith(udb, plan, engine.Exec{Workers: 4, MorselSize: testMorselSize})
+	if perr == nil || perr.Error() != werr.Error() {
+		t.Fatalf("error text mismatch:\nreference: %v\nparallel(4): %v", werr, perr)
 	}
 }
 

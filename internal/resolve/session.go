@@ -49,6 +49,11 @@ type Parallelism struct {
 	// Shards bounds how many component shards run probe scoring
 	// concurrently within one selection round.
 	Shards int
+	// Engine bounds morsel-driven parallelism at query-evaluation time
+	// (the engine's streaming executor). It is consumed by the serving
+	// layer and the public DB.Query path, not by the resolution loop
+	// itself, which operates on an already-evaluated result.
+	Engine int
 }
 
 // Config assembles a resolution-session configuration: either a baseline,

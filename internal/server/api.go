@@ -51,6 +51,9 @@ type ParallelismJSON struct {
 	Rescore int `json:"rescore,omitempty"`
 	// Shards bounds how many connected components are scored concurrently.
 	Shards int `json:"shards,omitempty"`
+	// Engine bounds morsel-driven parallelism when the session's query is
+	// evaluated. Results are bit-identical for any value.
+	Engine int `json:"engine,omitempty"`
 }
 
 // SessionInfo describes one live session.

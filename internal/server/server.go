@@ -264,7 +264,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	scope.SetRequest(RequestID(r.Context()))
 	cfg.Obs = obs.New("", s.trace, s.reg).WithScope(scope)
 	cfg.RetrainStallThreshold = s.stallThreshold
-	result, err := engine.RunObserved(s.udb, plan, cfg.Obs)
+	// Session queries evaluate under the morsel-parallel executor; the
+	// config's Engine dimension bounds the worker count (0 = per CPU).
+	result, err := engine.RunWith(s.udb, plan, engine.Exec{Obs: cfg.Obs, Workers: cfg.Parallel.Engine})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("query: %w", err))
 		return
@@ -496,6 +498,7 @@ func effectiveParallelism(cfg resolve.Config) ParallelismJSON {
 		Forest:  cfg.Parallel.Forest,
 		Rescore: cfg.Parallel.Rescore,
 		Shards:  cfg.Parallel.Shards,
+		Engine:  cfg.Parallel.Engine,
 	}
 	if p.Forest == 0 {
 		p.Forest = cfg.ForestWorkers
@@ -528,7 +531,9 @@ func sessionConfig(req CreateSessionRequest, def resolve.Parallelism) (resolve.C
 	cfg := resolve.Config{Seed: req.Seed, Trees: req.Trees,
 		ForestWorkers: req.ForestWorkers, Parallel: def}
 	if p := req.Parallelism; p != nil {
-		cfg.Parallel = resolve.Parallelism{Forest: p.Forest, Rescore: p.Rescore, Shards: p.Shards}
+		cfg.Parallel = resolve.Parallelism{
+			Forest: p.Forest, Rescore: p.Rescore, Shards: p.Shards, Engine: p.Engine,
+		}
 	}
 	if req.Incremental != nil && !*req.Incremental {
 		cfg.DisableIncremental = true

@@ -98,6 +98,36 @@ func randomOracle(db *qres.DB, p float64, seed int64) *mapOracle {
 	return o
 }
 
+// TestQueryEngineParallelism pins the public contract of the Engine
+// parallelism dimension: Query with WithParallelism(Parallelism{Engine: n})
+// evaluates on the morsel-parallel executor and returns results identical
+// to the default serial evaluation — same columns, rows, row order and
+// provenance renderings.
+func TestQueryEngineParallelism(t *testing.T) {
+	db := buildPaperDB(t)
+	serial, err := db.Query(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, 4} {
+		par, err := db.Query(paperSQL, qres.WithParallelism(qres.Parallelism{Engine: w}))
+		if err != nil {
+			t.Fatalf("Engine=%d: %v", w, err)
+		}
+		if par.Len() != serial.Len() {
+			t.Fatalf("Engine=%d: Len = %d, want %d", w, par.Len(), serial.Len())
+		}
+		for i := 0; i < serial.Len(); i++ {
+			if got, want := fmt.Sprint(par.Row(i)), fmt.Sprint(serial.Row(i)); got != want {
+				t.Fatalf("Engine=%d row %d = %s, want %s", w, i, got, want)
+			}
+			if got, want := par.Provenance(i), serial.Provenance(i); got != want {
+				t.Fatalf("Engine=%d row %d provenance = %s, want %s", w, i, got, want)
+			}
+		}
+	}
+}
+
 func TestBuildAndQuery(t *testing.T) {
 	db := buildPaperDB(t)
 	if db.NumTuples() != 16 {

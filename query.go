@@ -24,13 +24,29 @@ type Result struct {
 // SELECT [DISTINCT] cols FROM t1 [AS a1], t2 ... [WHERE cond] [UNION ...]
 // with comparison, LIKE, IN, IS [NOT] NULL and AND/OR/NOT conditions, plus
 // the year(date) function.
-func (db *DB) Query(sql string) (*Result, error) {
+//
+// Evaluation is serial by default. Passing WithParallelism enables
+// morsel-driven parallel evaluation governed by its Engine dimension
+// (0 = one worker per CPU, 1 = serial); results are bit-identical to the
+// serial path for any worker count. Other options are ignored here — they
+// configure resolution sessions.
+func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 	db.freeze()
 	plan, err := sqlparse.ParseAndCompile(sql, db.data)
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(db.udb, plan)
+	x := engine.Exec{Workers: 1}
+	if len(opts) > 0 {
+		var o options
+		for _, opt := range opts {
+			opt(&o)
+		}
+		if o.parSet {
+			x.Workers = o.cfg.Parallel.Engine
+		}
+	}
+	res, err := engine.RunWith(db.udb, plan, x)
 	if err != nil {
 		return nil, err
 	}

@@ -34,6 +34,7 @@ type options struct {
 	repo      *Repository
 	strategy  string
 	strandErr error
+	parSet    bool
 }
 
 type knownAnswer struct {
@@ -119,6 +120,12 @@ type Parallelism struct {
 	// Shards bounds how many connected components are scored concurrently
 	// when the workset splits (component-sharded probe selection).
 	Shards int
+	// Engine bounds morsel-driven parallelism in query evaluation
+	// (DB.Query and the serving path): 0 = one worker per CPU, 1 =
+	// serial streaming execution. Like every other dimension the results
+	// are bit-identical for any value — columns, row order and
+	// provenance expressions match the serial executor exactly.
+	Engine int
 }
 
 // WithParallelism bounds every parallel dimension of the session in one
@@ -126,10 +133,12 @@ type Parallelism struct {
 // Dimensions left at zero default to one worker per CPU.
 func WithParallelism(p Parallelism) Option {
 	return func(o *options) {
+		o.parSet = true
 		o.cfg.Parallel = resolve.Parallelism{
 			Forest:  p.Forest,
 			Rescore: p.Rescore,
 			Shards:  p.Shards,
+			Engine:  p.Engine,
 		}
 	}
 }
